@@ -1,0 +1,108 @@
+//! Bridges [`qpredict_predict::RunTimePredictor`] onto
+//! [`qpredict_sim::RuntimeEstimator`] so any predictor can drive the
+//! scheduling algorithms, while recording the run-time prediction errors
+//! the paper reports alongside each experiment.
+
+use qpredict_predict::{ErrorStats, RunTimePredictor};
+use qpredict_sim::RuntimeEstimator;
+use qpredict_workload::{Dur, Job, Time};
+
+/// Adapter: a predictor acting as the simulator's estimator.
+///
+/// Every estimate is scored against the job's actual run time into an
+/// [`ErrorStats`] (the simulator only asks for estimates at the instants
+/// the paper defines, so the accumulated stream matches the paper's
+/// run-time prediction workloads). Completions feed the predictor's
+/// history.
+pub struct PredictorEstimator<P> {
+    predictor: P,
+    errors: ErrorStats,
+    /// Count of estimates served from the predictor's fallback path.
+    fallbacks: u64,
+}
+
+impl<P: RunTimePredictor> PredictorEstimator<P> {
+    /// Wrap a predictor.
+    pub fn new(predictor: P) -> PredictorEstimator<P> {
+        PredictorEstimator {
+            predictor,
+            errors: ErrorStats::new(),
+            fallbacks: 0,
+        }
+    }
+
+    /// The run-time prediction errors accumulated so far.
+    pub fn errors(&self) -> &ErrorStats {
+        &self.errors
+    }
+
+    /// How many estimates came from fallback paths (no matching
+    /// category).
+    pub fn fallback_count(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Access the wrapped predictor.
+    pub fn predictor(&self) -> &P {
+        &self.predictor
+    }
+
+    /// Consume the adapter, returning the predictor and the error stats.
+    pub fn into_parts(self) -> (P, ErrorStats) {
+        (self.predictor, self.errors)
+    }
+}
+
+impl<P: RunTimePredictor> RuntimeEstimator for PredictorEstimator<P> {
+    fn estimate(&mut self, job: &Job, _now: Time, elapsed: Dur) -> Dur {
+        let pred = self.predictor.predict(job, elapsed);
+        if pred.fallback {
+            self.fallbacks += 1;
+        }
+        self.errors.record(pred.estimate, job.runtime);
+        pred.estimate
+    }
+
+    fn on_complete(&mut self, job: &Job, _now: Time) {
+        self.predictor.on_complete(job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_predict::OraclePredictor;
+    use qpredict_workload::{JobBuilder, JobId};
+
+    #[test]
+    fn oracle_adapter_has_zero_error() {
+        let mut a = PredictorEstimator::new(OraclePredictor);
+        let j = JobBuilder::new().runtime(Dur(500)).build(JobId(0));
+        assert_eq!(a.estimate(&j, Time(0), Dur::ZERO), Dur(500));
+        assert_eq!(a.errors().mean_abs_error_min(), 0.0);
+        assert_eq!(a.errors().count(), 1);
+        assert_eq!(a.fallback_count(), 0);
+    }
+
+    #[test]
+    fn records_each_estimate() {
+        let mut a = PredictorEstimator::new(OraclePredictor);
+        let j = JobBuilder::new().runtime(Dur(500)).build(JobId(0));
+        for _ in 0..5 {
+            a.estimate(&j, Time(0), Dur::ZERO);
+        }
+        assert_eq!(a.errors().count(), 5);
+    }
+
+    #[test]
+    fn completions_reach_predictor() {
+        use qpredict_predict::{SmithPredictor, Template, TemplateSet};
+        let set = TemplateSet::new(vec![Template::mean_over(&[])]);
+        let mut a = PredictorEstimator::new(SmithPredictor::new(set));
+        let j = JobBuilder::new().runtime(Dur(300)).build(JobId(0));
+        a.on_complete(&j, Time(10));
+        let est = a.estimate(&j, Time(20), Dur::ZERO);
+        assert_eq!(est, Dur(300)); // learned from the completion
+        assert_eq!(a.fallback_count(), 0);
+    }
+}

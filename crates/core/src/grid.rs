@@ -1,0 +1,102 @@
+//! Parallel execution of independent experiment cells.
+//!
+//! The paper's grids (workload x algorithm x predictor) are
+//! embarrassingly parallel and wildly uneven in cost (ANL backfill
+//! wait-prediction dwarfs SDSC FCFS scheduling), so cells are pulled from
+//! a shared queue by a fixed pool of scoped workers.
+
+use crossbeam::channel;
+
+/// Run `cells` concurrently on up to `threads` workers, returning the
+/// results in input order. Panics in a cell propagate.
+pub fn run_cells<T, F>(cells: Vec<F>, threads: usize) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = cells.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 {
+        return cells.into_iter().map(|c| c()).collect();
+    }
+    let (task_tx, task_rx) = channel::unbounded::<(usize, F)>();
+    for (i, c) in cells.into_iter().enumerate() {
+        task_tx.send((i, c)).expect("queue open");
+    }
+    drop(task_tx);
+    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let task_rx = task_rx.clone();
+            let res_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((i, cell)) = task_rx.recv() {
+                    let out = cell();
+                    if res_tx.send((i, out)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        while let Ok((i, out)) = res_rx.recv() {
+            results[i] = Some(out);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every cell completed"))
+            .collect()
+    })
+}
+
+/// Default worker count: the machine's parallelism.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let cells: Vec<_> = (0..50).map(|i| move || i * 2).collect();
+        let out = run_cells(cells, 8);
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_path() {
+        let cells: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_cells(cells, 1), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_grid() {
+        let cells: Vec<fn() -> i32> = vec![];
+        assert!(run_cells(cells, 4).is_empty());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        let cells: Vec<_> = (0..16)
+            .map(|i| {
+                move || {
+                    // Uneven busy loops.
+                    let mut acc = 0u64;
+                    for k in 0..(i as u64 * 10_000) {
+                        acc = acc.wrapping_add(k);
+                    }
+                    (i, acc)
+                }
+            })
+            .collect();
+        let out = run_cells(cells, 4);
+        for (i, (j, _)) in out.iter().enumerate() {
+            assert_eq!(i, *j);
+        }
+    }
+}

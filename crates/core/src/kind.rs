@@ -1,0 +1,157 @@
+//! Uniform construction of every predictor the paper compares.
+
+use qpredict_predict::{
+    DowneyPredictor, DowneyVariant, GibbonsPredictor, MaxRuntimePredictor, OraclePredictor,
+    Prediction, RunTimePredictor, SmithPredictor, TemplateSet,
+};
+use qpredict_workload::{Dur, Job, Workload};
+
+use crate::searched;
+
+/// Which run-time predictor to use in an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictorKind {
+    /// Actual run times (perfect information; Tables 4 and 10).
+    Actual,
+    /// User-supplied maximum run times, with per-queue maxima derived
+    /// for traces without limits (Tables 5 and 11).
+    MaxRuntime,
+    /// The paper's template-based predictor with the searched/curated
+    /// template set for the workload (Tables 6 and 12).
+    Smith,
+    /// The template-based predictor with an explicit template set (for
+    /// search results and ablations).
+    SmithWith(TemplateSet),
+    /// Gibbons' fixed-template predictor (Tables 7 and 13).
+    Gibbons,
+    /// Downey's conditional-average predictor (Tables 8 and 14).
+    DowneyAverage,
+    /// Downey's conditional-median predictor (Tables 9 and 15).
+    DowneyMedian,
+}
+
+impl PredictorKind {
+    /// The predictors in the paper's table order 4..=9 / 10..=15,
+    /// excluding the explicit-set variant.
+    pub const ALL: [PredictorKind; 6] = [
+        PredictorKind::Actual,
+        PredictorKind::MaxRuntime,
+        PredictorKind::Smith,
+        PredictorKind::Gibbons,
+        PredictorKind::DowneyAverage,
+        PredictorKind::DowneyMedian,
+    ];
+
+    /// Display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PredictorKind::Actual => "actual",
+            PredictorKind::MaxRuntime => "maxrt",
+            PredictorKind::Smith | PredictorKind::SmithWith(_) => "smith",
+            PredictorKind::Gibbons => "gibbons",
+            PredictorKind::DowneyAverage => "downey-avg",
+            PredictorKind::DowneyMedian => "downey-med",
+        }
+    }
+
+    /// Parse a (case-insensitive) predictor name.
+    pub fn parse(s: &str) -> Option<PredictorKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "actual" | "oracle" => Some(PredictorKind::Actual),
+            "maxrt" | "max" | "limit" => Some(PredictorKind::MaxRuntime),
+            "smith" | "ours" => Some(PredictorKind::Smith),
+            "gibbons" => Some(PredictorKind::Gibbons),
+            "downey-avg" | "downey-average" => Some(PredictorKind::DowneyAverage),
+            "downey-med" | "downey-median" => Some(PredictorKind::DowneyMedian),
+            _ => None,
+        }
+    }
+
+    /// Build the predictor for `wl`.
+    pub fn build(&self, wl: &Workload) -> BoxedPredictor {
+        let inner: Box<dyn RunTimePredictor + Send> = match self {
+            PredictorKind::Actual => Box::new(OraclePredictor),
+            PredictorKind::MaxRuntime => Box::new(MaxRuntimePredictor::from_workload(wl)),
+            PredictorKind::Smith => Box::new(SmithPredictor::new(searched::set_for(wl))),
+            PredictorKind::SmithWith(set) => Box::new(SmithPredictor::new(set.clone())),
+            PredictorKind::Gibbons => Box::new(GibbonsPredictor::new()),
+            PredictorKind::DowneyAverage => Box::new(DowneyPredictor::for_workload(
+                DowneyVariant::ConditionalAverage,
+                wl,
+            )),
+            PredictorKind::DowneyMedian => Box::new(DowneyPredictor::for_workload(
+                DowneyVariant::ConditionalMedian,
+                wl,
+            )),
+        };
+        BoxedPredictor { inner }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A heap-allocated predictor implementing [`RunTimePredictor`] by
+/// delegation (so experiment code can treat all kinds uniformly and move
+/// them across threads).
+pub struct BoxedPredictor {
+    inner: Box<dyn RunTimePredictor + Send>,
+}
+
+impl RunTimePredictor for BoxedPredictor {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        self.inner.predict(job, elapsed)
+    }
+
+    fn on_complete(&mut self, job: &Job) {
+        self.inner.on_complete(job)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::synthetic::toy;
+
+    #[test]
+    fn builds_every_kind() {
+        let wl = toy(50, 16, 1);
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build(&wl);
+            let pred = p.predict(&wl.jobs[0], Dur::ZERO);
+            assert!(pred.estimate >= Dur::SECOND, "{kind} returned nonsense");
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for kind in PredictorKind::ALL {
+            assert_eq!(PredictorKind::parse(kind.name()), Some(kind.clone()));
+        }
+        assert_eq!(PredictorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn smith_with_uses_given_set() {
+        use qpredict_predict::Template;
+        let wl = toy(50, 16, 2);
+        let set = TemplateSet::new(vec![Template::mean_over(&[])]);
+        let kind = PredictorKind::SmithWith(set);
+        let mut p = kind.build(&wl);
+        assert_eq!(p.name(), "smith");
+        p.on_complete(&wl.jobs[0]);
+        let pred = p.predict(&wl.jobs[1], Dur::ZERO);
+        assert_eq!(pred.estimate, wl.jobs[0].runtime);
+    }
+}

@@ -1,0 +1,132 @@
+//! The prediction-driven scheduling experiment (paper Section 4,
+//! Tables 10–15): drive LWF or backfill with a run-time predictor and
+//! measure utilization and mean wait time.
+
+use qpredict_predict::{ErrorStats, RunTimePredictor};
+use qpredict_sim::{Algorithm, Metrics, Simulation};
+use qpredict_workload::Workload;
+
+use crate::adapter::PredictorEstimator;
+use crate::kind::PredictorKind;
+
+/// Results of one scheduling run.
+#[derive(Debug, Clone)]
+pub struct SchedulingOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Algorithm driven by the predictor.
+    pub algorithm: Algorithm,
+    /// Predictor used.
+    pub predictor: &'static str,
+    /// Schedule quality (the paper reports utilization and mean wait).
+    pub metrics: Metrics,
+    /// Run-time prediction errors over every estimate the scheduler
+    /// requested.
+    pub runtime_errors: ErrorStats,
+    /// How many estimates came from the predictor's fallback path.
+    pub fallback_estimates: u64,
+}
+
+/// Schedule `wl` under `alg` using `kind` for run-time estimates.
+pub fn run_scheduling(wl: &Workload, alg: Algorithm, kind: PredictorKind) -> SchedulingOutcome {
+    let predictor = kind.build(wl);
+    let predictor_name = predictor.name();
+    let mut est = PredictorEstimator::new(predictor);
+    let result = Simulation::run(wl, alg, &mut est);
+    SchedulingOutcome {
+        workload: wl.name.clone(),
+        algorithm: alg,
+        predictor: predictor_name,
+        metrics: result.metrics,
+        runtime_errors: *est.errors(),
+        fallback_estimates: est.fallback_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::synthetic::toy;
+
+    #[test]
+    fn fcfs_outcome_is_predictor_invariant() {
+        // FCFS never consults the estimator; every predictor must yield
+        // the identical schedule.
+        let wl = toy(250, 32, 30);
+        let a = run_scheduling(&wl, Algorithm::Fcfs, PredictorKind::Actual);
+        let b = run_scheduling(&wl, Algorithm::Fcfs, PredictorKind::MaxRuntime);
+        let c = run_scheduling(&wl, Algorithm::Fcfs, PredictorKind::DowneyMedian);
+        assert_eq!(a.metrics.mean_wait, b.metrics.mean_wait);
+        assert_eq!(a.metrics.mean_wait, c.metrics.mean_wait);
+        assert_eq!(a.runtime_errors.count(), 0, "FCFS must never predict");
+    }
+
+    #[test]
+    fn utilization_is_insensitive_to_predictor() {
+        // The paper's Section 4 finding: "the accuracy of the run-time
+        // predictions has a minimal effect on the utilization".
+        let wl = toy(400, 24, 31);
+        let mut utils = Vec::new();
+        for kind in [
+            PredictorKind::Actual,
+            PredictorKind::MaxRuntime,
+            PredictorKind::Smith,
+        ] {
+            utils.push(run_scheduling(&wl, Algorithm::Backfill, kind).metrics.utilization);
+        }
+        let max = utils.iter().cloned().fold(f64::MIN, f64::max);
+        let min = utils.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max - min < 0.05,
+            "utilization spread too large: {utils:?}"
+        );
+    }
+
+    #[test]
+    fn lwf_with_oracle_beats_fcfs_on_mean_wait() {
+        // LWF exists because running least-work-first slashes mean waits;
+        // with perfect estimates this must materialize.
+        let wl = toy(400, 16, 32);
+        let fcfs = run_scheduling(&wl, Algorithm::Fcfs, PredictorKind::Actual);
+        let lwf = run_scheduling(&wl, Algorithm::Lwf, PredictorKind::Actual);
+        assert!(
+            lwf.metrics.mean_wait < fcfs.metrics.mean_wait,
+            "LWF {:?} should beat FCFS {:?}",
+            lwf.metrics.mean_wait,
+            fcfs.metrics.mean_wait
+        );
+    }
+
+    #[test]
+    fn backfill_with_oracle_beats_fcfs_on_mean_wait() {
+        let wl = toy(400, 16, 33);
+        let fcfs = run_scheduling(&wl, Algorithm::Fcfs, PredictorKind::Actual);
+        let bf = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Actual);
+        assert!(
+            bf.metrics.mean_wait < fcfs.metrics.mean_wait,
+            "backfill {:?} should beat FCFS {:?}",
+            bf.metrics.mean_wait,
+            fcfs.metrics.mean_wait
+        );
+    }
+
+    #[test]
+    fn all_predictors_complete_all_jobs() {
+        let wl = toy(200, 16, 34);
+        for kind in PredictorKind::ALL {
+            for alg in [Algorithm::Lwf, Algorithm::Backfill] {
+                let out = run_scheduling(&wl, alg, kind.clone());
+                assert_eq!(out.metrics.n_jobs, 200, "{alg} + {kind} lost jobs");
+                assert!(out.metrics.utilization > 0.0 && out.metrics.utilization <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_runtime_errors_are_zero() {
+        let wl = toy(150, 16, 35);
+        let out = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Actual);
+        assert!(out.runtime_errors.count() > 0);
+        assert_eq!(out.runtime_errors.mean_abs_error_min(), 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text/markdown tables for experiment reports.
+
+use std::fmt;
+
+/// A rendered experiment table: a title, column headers, and string
+/// cells. Numeric formatting is the producer's responsibility.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Stable identifier, e.g. `"table6"`.
+    pub id: String,
+    /// Human title, e.g. the paper's caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells; each row has `columns.len()` entries.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        columns: &[&str],
+    ) -> Table {
+        Table {
+            id: id.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the arity does not match the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Column widths for aligned text rendering.
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Render as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push('|');
+        for c in &self.columns {
+            out.push_str(&format!(" {c} |"));
+        }
+        out.push_str("\n|");
+        for _ in &self.columns {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push('|');
+            for cell in row {
+                out.push_str(&format!(" {cell} |"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}", self.id, self.title)?;
+        let widths = self.widths();
+        let mut line = String::new();
+        for (c, w) in self.columns.iter().zip(&widths) {
+            line.push_str(&format!("{c:>w$}  ", w = w));
+        }
+        writeln!(f, "{}", line.trim_end())?;
+        writeln!(f, "{}", "-".repeat(line.trim_end().len()))?;
+        for row in &self.rows {
+            let mut line = String::new();
+            for (cell, w) in row.iter().zip(&widths) {
+                line.push_str(&format!("{cell:>w$}  ", w = w));
+            }
+            writeln!(f, "{}", line.trim_end())?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a ratio like `0.4237` as `42.4` (percent, one decimal).
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Format minutes with two decimals.
+pub fn mins(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("t1", "demo", &["Workload", "Err"]);
+        t.push_row(vec!["ANL".into(), "12.3".into()]);
+        t.push_row(vec!["SDSC95".into(), "4.5".into()]);
+        t
+    }
+
+    #[test]
+    fn text_render_is_aligned() {
+        let s = sample().to_string();
+        assert!(s.contains("Workload"));
+        assert!(s.contains("SDSC95"));
+        // Right-aligned: "ANL" padded to width of "Workload".
+        assert!(s.contains("     ANL"));
+    }
+
+    #[test]
+    fn markdown_render() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### t1"));
+        assert!(md.contains("| Workload | Err |"));
+        assert!(md.contains("| ANL | 12.3 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut t = Table::new("t", "x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.4237), "42.4");
+        assert_eq!(mins(7.126), "7.13");
+    }
+}

@@ -1,0 +1,324 @@
+//! Category storage for the template framework.
+//!
+//! Each (template, matching characteristic values, node bucket) triple is
+//! a *category* holding the data points of completed jobs. Histories are
+//! bounded by their template's maximum history: when full, the oldest
+//! point is evicted (paper step 3(b)ii).
+
+use std::collections::{HashMap, VecDeque};
+
+use qpredict_workload::Job;
+
+use crate::template::{Template, TemplateSet};
+
+/// One completed job's contribution to a category.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Actual run time, seconds.
+    pub runtime: f64,
+    /// `runtime / max_runtime` when the job recorded a limit, else `NaN`.
+    pub ratio: f64,
+    /// Requested node count (regression abscissa).
+    pub nodes: f64,
+}
+
+impl Point {
+    /// Build a point from a completed job.
+    pub fn from_job(job: &Job) -> Point {
+        Point {
+            runtime: job.runtime.as_secs_f64(),
+            ratio: job
+                .max_runtime
+                .map(|m| job.runtime.as_secs_f64() / m.as_secs_f64().max(1.0))
+                .unwrap_or(f64::NAN),
+            nodes: job.nodes as f64,
+        }
+    }
+}
+
+/// Category identity: which template, the values of its selected
+/// characteristics (by characteristic index; `u32::MAX` = slot unused),
+/// and the node bucket (`u32::MAX` when the template ignores nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CategoryKey {
+    template: u16,
+    values: [u32; 8],
+    node_bucket: u32,
+}
+
+const UNUSED: u32 = u32::MAX;
+
+impl CategoryKey {
+    /// The key for `job` under template `t` (index `ti` in its set), or
+    /// `None` when the job does not record a selected characteristic or
+    /// lacks a limit required by a relative template.
+    pub fn for_job(ti: usize, t: &Template, job: &Job) -> Option<CategoryKey> {
+        if !t.applies_to(job) {
+            return None;
+        }
+        let mut values = [UNUSED; 8];
+        for c in t.chars.iter() {
+            let v = job.characteristic(c)?; // applies_to guarantees Some
+            values[c.index()] = v.index() as u32;
+        }
+        Some(CategoryKey {
+            template: ti as u16,
+            values,
+            node_bucket: t.node_bucket(job).unwrap_or(UNUSED),
+        })
+    }
+}
+
+/// Running first/second moments of a value stream, maintained under
+/// append and evict. Floating-point drift from incremental subtraction is
+/// negligible at trace scale (tens of thousands of bounded values).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Moments {
+    /// Number of values.
+    pub n: usize,
+    /// Sum of values.
+    pub sum: f64,
+    /// Sum of squared values.
+    pub sum2: f64,
+}
+
+impl Moments {
+    fn add(&mut self, v: f64) {
+        self.n += 1;
+        self.sum += v;
+        self.sum2 += v * v;
+    }
+
+    fn remove(&mut self, v: f64) {
+        self.n -= 1;
+        self.sum -= v;
+        self.sum2 -= v * v;
+        if self.n == 0 {
+            *self = Moments::default();
+        }
+    }
+}
+
+/// Bounded history of one category, with running aggregates for the hot
+/// mean-estimator path.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    points: VecDeque<Point>,
+    abs: Moments,
+    ratio: Moments,
+}
+
+impl History {
+    /// Append a point, evicting the oldest when `cap` is reached.
+    pub fn push(&mut self, p: Point, cap: Option<u32>) {
+        if let Some(cap) = cap {
+            while self.points.len() >= cap.max(1) as usize {
+                let old = self.points.pop_front().expect("len checked");
+                self.abs.remove(old.runtime);
+                if old.ratio.is_finite() {
+                    self.ratio.remove(old.ratio);
+                }
+            }
+        }
+        self.abs.add(p.runtime);
+        if p.ratio.is_finite() {
+            self.ratio.add(p.ratio);
+        }
+        self.points.push_back(p);
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate stored points, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Point> {
+        self.points.iter()
+    }
+
+    /// Running moments of the absolute run times (O(1) mean/CI).
+    pub fn abs_moments(&self) -> Moments {
+        self.abs
+    }
+
+    /// Running moments of the run-time-to-limit ratios, over points that
+    /// have one.
+    pub fn ratio_moments(&self) -> Moments {
+        self.ratio
+    }
+}
+
+/// All categories of one template set.
+#[derive(Debug, Clone, Default)]
+pub struct CategoryStore {
+    map: HashMap<CategoryKey, History>,
+}
+
+impl CategoryStore {
+    /// An empty store.
+    pub fn new() -> CategoryStore {
+        CategoryStore::default()
+    }
+
+    /// Insert a completed job into every category it matches.
+    pub fn insert(&mut self, set: &TemplateSet, job: &Job) {
+        let p = Point::from_job(job);
+        for (ti, t) in set.templates().iter().enumerate() {
+            if let Some(key) = CategoryKey::for_job(ti, t, job) {
+                self.map.entry(key).or_default().push(p, t.max_history);
+            }
+        }
+    }
+
+    /// The history of `job`'s category under template `ti`, if any
+    /// points exist.
+    pub fn history(&self, ti: usize, t: &Template, job: &Job) -> Option<&History> {
+        let key = CategoryKey::for_job(ti, t, job)?;
+        self.map.get(&key).filter(|h| !h.is_empty())
+    }
+
+    /// Number of live categories.
+    pub fn category_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Discard everything.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::Template;
+    use qpredict_workload::{Characteristic, Dur, JobBuilder, JobId, SymbolTable};
+
+    fn setup() -> (SymbolTable, TemplateSet) {
+        let syms = SymbolTable::new();
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]),
+            Template::mean_over(&[]).with_node_range(2),
+        ]);
+        (syms, set)
+    }
+
+    #[test]
+    fn insert_places_job_in_all_matching_categories() {
+        let (mut syms, set) = setup();
+        let u = syms.intern("alice");
+        let mut store = CategoryStore::new();
+        let j = JobBuilder::new()
+            .with(Characteristic::User, u)
+            .nodes(3)
+            .runtime(Dur(100))
+            .build(JobId(0));
+        store.insert(&set, &j);
+        assert_eq!(store.category_count(), 2);
+        assert_eq!(
+            store
+                .history(0, &set.templates()[0], &j)
+                .map(|h| h.len()),
+            Some(1)
+        );
+        assert_eq!(
+            store
+                .history(1, &set.templates()[1], &j)
+                .map(|h| h.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn job_without_user_skips_user_template() {
+        let (_syms, set) = setup();
+        let mut store = CategoryStore::new();
+        let j = JobBuilder::new().nodes(3).runtime(Dur(100)).build(JobId(0));
+        store.insert(&set, &j);
+        assert_eq!(store.category_count(), 1); // only the node-range template
+        assert!(store.history(0, &set.templates()[0], &j).is_none());
+    }
+
+    #[test]
+    fn different_users_get_different_categories() {
+        let (mut syms, set) = setup();
+        let a = syms.intern("alice");
+        let b = syms.intern("bob");
+        let mut store = CategoryStore::new();
+        let ja = JobBuilder::new()
+            .with(Characteristic::User, a)
+            .runtime(Dur(100))
+            .build(JobId(0));
+        let jb = JobBuilder::new()
+            .with(Characteristic::User, b)
+            .runtime(Dur(900))
+            .build(JobId(1));
+        store.insert(&set, &ja);
+        store.insert(&set, &jb);
+        let ha = store.history(0, &set.templates()[0], &ja).unwrap();
+        assert_eq!(ha.len(), 1);
+        assert_eq!(ha.iter().next().unwrap().runtime, 100.0);
+    }
+
+    #[test]
+    fn node_buckets_separate_categories() {
+        let (_syms, set) = setup();
+        let mut store = CategoryStore::new();
+        let small = JobBuilder::new().nodes(2).runtime(Dur(10)).build(JobId(0));
+        let large = JobBuilder::new().nodes(20).runtime(Dur(99)).build(JobId(1));
+        store.insert(&set, &small);
+        store.insert(&set, &large);
+        let h = store.history(1, &set.templates()[1], &small).unwrap();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.iter().next().unwrap().runtime, 10.0);
+    }
+
+    #[test]
+    fn history_cap_evicts_oldest() {
+        let mut h = History::default();
+        for i in 0..5 {
+            h.push(
+                Point {
+                    runtime: i as f64,
+                    ratio: f64::NAN,
+                    nodes: 1.0,
+                },
+                Some(3),
+            );
+        }
+        assert_eq!(h.len(), 3);
+        let runtimes: Vec<f64> = h.iter().map(|p| p.runtime).collect();
+        assert_eq!(runtimes, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn point_ratio_from_limit() {
+        let j = JobBuilder::new()
+            .runtime(Dur(50))
+            .max_runtime(Dur(200))
+            .build(JobId(0));
+        let p = Point::from_job(&j);
+        assert!((p.ratio - 0.25).abs() < 1e-12);
+        let j2 = JobBuilder::new().runtime(Dur(50)).build(JobId(1));
+        assert!(Point::from_job(&j2).ratio.is_nan());
+    }
+
+    #[test]
+    fn clear_empties_store() {
+        let (mut syms, set) = setup();
+        let u = syms.intern("alice");
+        let mut store = CategoryStore::new();
+        let j = JobBuilder::new()
+            .with(Characteristic::User, u)
+            .build(JobId(0));
+        store.insert(&set, &j);
+        store.clear();
+        assert_eq!(store.category_count(), 0);
+    }
+}

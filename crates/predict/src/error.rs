@@ -1,0 +1,188 @@
+//! Prediction-error accounting.
+//!
+//! The paper reports mean absolute errors in minutes and as percentages
+//! of the mean of the quantity being predicted (run time or wait time).
+//! [`ErrorStats`] accumulates both for any stream of
+//! `(predicted, actual)` pairs.
+
+use qpredict_workload::Dur;
+
+/// Accumulates absolute-error statistics over `(predicted, actual)`
+/// duration pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ErrorStats {
+    n: u64,
+    sum_abs_err_s: f64,
+    sum_err_s: f64,
+    sum_actual_s: f64,
+    sum_sq_err_s: f64,
+    max_abs_err_s: f64,
+}
+
+impl ErrorStats {
+    /// An empty accumulator.
+    pub fn new() -> ErrorStats {
+        ErrorStats::default()
+    }
+
+    /// Record one prediction against its realized value.
+    pub fn record(&mut self, predicted: Dur, actual: Dur) {
+        let err = predicted.as_secs_f64() - actual.as_secs_f64();
+        self.n += 1;
+        self.sum_abs_err_s += err.abs();
+        self.sum_err_s += err;
+        self.sum_actual_s += actual.as_secs_f64();
+        self.sum_sq_err_s += err * err;
+        if err.abs() > self.max_abs_err_s {
+            self.max_abs_err_s = err.abs();
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ErrorStats) {
+        self.n += other.n;
+        self.sum_abs_err_s += other.sum_abs_err_s;
+        self.sum_err_s += other.sum_err_s;
+        self.sum_actual_s += other.sum_actual_s;
+        self.sum_sq_err_s += other.sum_sq_err_s;
+        self.max_abs_err_s = self.max_abs_err_s.max(other.max_abs_err_s);
+    }
+
+    /// Number of recorded pairs.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean absolute error, in minutes (the paper's "Mean Error").
+    pub fn mean_abs_error_min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_abs_err_s / self.n as f64 / 60.0
+        }
+    }
+
+    /// Mean signed error (bias), in minutes. Positive = overprediction.
+    pub fn mean_bias_min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_err_s / self.n as f64 / 60.0
+        }
+    }
+
+    /// Mean of the actual values, in minutes.
+    pub fn mean_actual_min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum_actual_s / self.n as f64 / 60.0
+        }
+    }
+
+    /// Mean absolute error as a percentage of the mean actual value
+    /// (the paper's "Percentage of Mean Wait Time" / "... Run Time").
+    pub fn pct_of_mean_actual(&self) -> f64 {
+        let m = self.mean_actual_min();
+        if m <= 0.0 {
+            0.0
+        } else {
+            100.0 * self.mean_abs_error_min() / m
+        }
+    }
+
+    /// Root-mean-square error, in minutes.
+    pub fn rmse_min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            (self.sum_sq_err_s / self.n as f64).sqrt() / 60.0
+        }
+    }
+
+    /// Largest absolute error, in minutes.
+    pub fn max_abs_error_min(&self) -> f64 {
+        self.max_abs_err_s / 60.0
+    }
+}
+
+impl std::fmt::Display for ErrorStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={}  MAE {:.2} min ({:.0}% of mean {:.2} min)  bias {:+.2} min  RMSE {:.2} min",
+            self.n,
+            self.mean_abs_error_min(),
+            self.pct_of_mean_actual(),
+            self.mean_actual_min(),
+            self.mean_bias_min(),
+            self.rmse_min()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zeroed() {
+        let e = ErrorStats::new();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.mean_abs_error_min(), 0.0);
+        assert_eq!(e.pct_of_mean_actual(), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_case() {
+        let mut e = ErrorStats::new();
+        e.record(Dur(120), Dur(60)); // err +60 s
+        e.record(Dur(60), Dur(180)); // err -120 s
+        assert_eq!(e.count(), 2);
+        // MAE = (60+120)/2 = 90 s = 1.5 min
+        assert!((e.mean_abs_error_min() - 1.5).abs() < 1e-12);
+        // bias = (60-120)/2 = -30 s = -0.5 min
+        assert!((e.mean_bias_min() + 0.5).abs() < 1e-12);
+        // mean actual = 120 s = 2 min -> 75%
+        assert!((e.pct_of_mean_actual() - 75.0).abs() < 1e-9);
+        assert!((e.max_abs_error_min() - 2.0).abs() < 1e-12);
+        // RMSE = sqrt((3600+14400)/2) = sqrt(9000) s
+        assert!((e.rmse_min() - 9000f64.sqrt() / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut a = ErrorStats::new();
+        a.record(Dur(100), Dur(50));
+        let mut b = ErrorStats::new();
+        b.record(Dur(10), Dur(40));
+        b.record(Dur(70), Dur(70));
+        let mut merged = a;
+        merged.merge(&b);
+        let mut seq = ErrorStats::new();
+        seq.record(Dur(100), Dur(50));
+        seq.record(Dur(10), Dur(40));
+        seq.record(Dur(70), Dur(70));
+        assert_eq!(merged, seq);
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let mut e = ErrorStats::new();
+        for v in [10, 100, 1000] {
+            e.record(Dur(v), Dur(v));
+        }
+        assert_eq!(e.mean_abs_error_min(), 0.0);
+        assert_eq!(e.pct_of_mean_actual(), 0.0);
+        assert_eq!(e.rmse_min(), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let mut e = ErrorStats::new();
+        e.record(Dur(120), Dur(60));
+        let s = e.to_string();
+        assert!(s.contains("n=1"));
+        assert!(s.contains("MAE"));
+    }
+}

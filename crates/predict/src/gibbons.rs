@@ -1,0 +1,410 @@
+//! Gibbons' run-time predictor \[8, 9\], as summarized in the paper.
+//!
+//! Gibbons uses the fixed template/predictor hierarchy of the paper's
+//! Table 3 and tries each in order until one yields a valid prediction:
+//!
+//! | # | Template        | Predictor         |
+//! |---|-----------------|-------------------|
+//! | 1 | `(u,e,n,rtime)` | mean              |
+//! | 2 | `(u,e)`         | linear regression |
+//! | 3 | `(e,n,rtime)`   | mean              |
+//! | 4 | `(e)`           | linear regression |
+//! | 5 | `(n,rtime)`     | mean              |
+//! | 6 | `()`            | linear regression |
+//!
+//! Differences from the Smith framework, faithfully reproduced:
+//!
+//! * node ranges are the fixed exponential buckets 1, 2–3, 4–7, 8–15, …;
+//! * the regressions at levels 2/4/6 are **weighted** linear regressions
+//!   over the `(mean nodes, mean run time)` of each node-bucket
+//!   subcategory, weighted by the inverse variance of the subcategory's
+//!   run times;
+//! * history is never bounded.
+//!
+//! Jobs lacking a user or executable fall into a single "unknown" value
+//! for that characteristic (relevant for traces like SDSC that record
+//! neither; level 1 then degenerates toward level 5, which is the
+//! behaviour Gibbons' profiler would exhibit on such data).
+
+use std::collections::HashMap;
+
+use qpredict_workload::{Characteristic, Dur, Job, Sym};
+
+use crate::estimators::{mean, weighted_linear, Estimate};
+use crate::{Prediction, RunTimePredictor};
+
+/// Run times observed in one `(key, node-bucket)` subcategory.
+#[derive(Debug, Clone, Default)]
+struct SubCategory {
+    runtimes: Vec<f64>,
+    nodes: Vec<f64>,
+}
+
+impl SubCategory {
+    fn push(&mut self, rt: f64, nodes: f64) {
+        self.runtimes.push(rt);
+        self.nodes.push(nodes);
+    }
+
+    fn mean_nodes(&self) -> f64 {
+        self.nodes.iter().sum::<f64>() / self.nodes.len() as f64
+    }
+
+    fn mean_runtime(&self) -> f64 {
+        self.runtimes.iter().sum::<f64>() / self.runtimes.len() as f64
+    }
+
+    fn runtime_variance(&self) -> f64 {
+        let n = self.runtimes.len() as f64;
+        if n < 2.0 {
+            return f64::NAN;
+        }
+        let m = self.mean_runtime();
+        self.runtimes.iter().map(|r| (r - m).powi(2)).sum::<f64>() / (n - 1.0)
+    }
+}
+
+/// Exponential node bucket: 1 -> 0, 2-3 -> 1, 4-7 -> 2, 8-15 -> 3, ...
+fn node_bucket(nodes: u32) -> u32 {
+    31 - nodes.max(1).leading_zeros()
+}
+
+type Key2 = (Option<Sym>, Option<Sym>); // (user, executable)
+
+/// Gibbons' predictor state.
+#[derive(Debug, Clone, Default)]
+pub struct GibbonsPredictor {
+    by_user_exe: HashMap<Key2, HashMap<u32, SubCategory>>,
+    by_exe: HashMap<Option<Sym>, HashMap<u32, SubCategory>>,
+    global: HashMap<u32, SubCategory>,
+    total_sum: f64,
+    total_n: u64,
+    /// Longest run time observed so far; regressions at levels 2/4/6 can
+    /// extrapolate wildly at unseen node counts, so predictions are
+    /// clamped to twice this (floor: one hour).
+    max_seen: f64,
+}
+
+/// Minimum points for a valid mean at levels 1/3/5.
+const MIN_MEAN_POINTS: usize = 2;
+
+impl GibbonsPredictor {
+    /// An empty predictor.
+    pub fn new() -> GibbonsPredictor {
+        GibbonsPredictor::default()
+    }
+
+    /// Level 1/3/5: mean of the run times in the exact node bucket,
+    /// conditioned on the elapsed running time.
+    fn bucket_mean(
+        subcats: &HashMap<u32, SubCategory>,
+        bucket: u32,
+        elapsed_s: f64,
+    ) -> Option<Estimate> {
+        let sc = subcats.get(&bucket)?;
+        let est = mean(
+            sc.runtimes
+                .iter()
+                .copied()
+                .filter(|&rt| elapsed_s <= 0.0 || rt > elapsed_s),
+        )?;
+        (est.n >= MIN_MEAN_POINTS).then_some(est)
+    }
+
+    /// Level 2/4/6: weighted linear regression over subcategory means,
+    /// weighted by inverse run-time variance. Subcategories need at
+    /// least two points to contribute a variance; near-zero variances
+    /// are floored to keep weights finite.
+    fn subcat_regression(subcats: &HashMap<u32, SubCategory>, nodes: f64) -> Option<Estimate> {
+        let mut triples: Vec<(f64, f64, f64)> = subcats
+            .values()
+            .filter(|sc| sc.runtimes.len() >= 2)
+            .map(|sc| {
+                let var = sc.runtime_variance().max(1.0); // floor: 1 s^2
+                (sc.mean_nodes(), sc.mean_runtime(), 1.0 / var)
+            })
+            .collect();
+        if triples.len() < 2 {
+            return None;
+        }
+        // Deterministic order (HashMap iteration is not).
+        triples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        weighted_linear(triples.into_iter(), nodes)
+    }
+}
+
+impl RunTimePredictor for GibbonsPredictor {
+    fn name(&self) -> &'static str {
+        "gibbons"
+    }
+
+    fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        let u = job.characteristic(Characteristic::User);
+        let e = job.characteristic(Characteristic::Executable);
+        let bucket = node_bucket(job.nodes);
+        let elapsed_s = elapsed.as_secs_f64();
+        let nodes = job.nodes as f64;
+
+        let est = None
+            // 1: (u, e, n, rtime) mean
+            .or_else(|| {
+                self.by_user_exe
+                    .get(&(u, e))
+                    .and_then(|s| Self::bucket_mean(s, bucket, elapsed_s))
+            })
+            // 2: (u, e) weighted linear regression
+            .or_else(|| {
+                self.by_user_exe
+                    .get(&(u, e))
+                    .and_then(|s| Self::subcat_regression(s, nodes))
+            })
+            // 3: (e, n, rtime) mean
+            .or_else(|| {
+                self.by_exe
+                    .get(&e)
+                    .and_then(|s| Self::bucket_mean(s, bucket, elapsed_s))
+            })
+            // 4: (e) weighted linear regression
+            .or_else(|| {
+                self.by_exe
+                    .get(&e)
+                    .and_then(|s| Self::subcat_regression(s, nodes))
+            })
+            // 5: (n, rtime) mean
+            .or_else(|| Self::bucket_mean(&self.global, bucket, elapsed_s))
+            // 6: () weighted linear regression
+            .or_else(|| Self::subcat_regression(&self.global, nodes));
+
+        let cap = (self.max_seen * 2.0).max(3600.0);
+        match est {
+            Some(est) if est.value.is_finite() => Prediction {
+                estimate: Dur::from_secs_f64(est.value.clamp(1.0, cap)),
+                ci_halfwidth: est.ci,
+                fallback: false,
+            }
+            .clamped(elapsed),
+            _ => {
+                let fb = if self.total_n > 0 {
+                    Dur::from_secs_f64(self.total_sum / self.total_n as f64)
+                } else if let Some(m) = job.max_runtime {
+                    m
+                } else {
+                    Dur::HOUR
+                };
+                Prediction::fallback(fb).clamped(elapsed)
+            }
+        }
+    }
+
+    fn on_complete(&mut self, job: &Job) {
+        let u = job.characteristic(Characteristic::User);
+        let e = job.characteristic(Characteristic::Executable);
+        let bucket = node_bucket(job.nodes);
+        let rt = job.runtime.as_secs_f64();
+        let nodes = job.nodes as f64;
+        self.by_user_exe
+            .entry((u, e))
+            .or_default()
+            .entry(bucket)
+            .or_default()
+            .push(rt, nodes);
+        self.by_exe
+            .entry(e)
+            .or_default()
+            .entry(bucket)
+            .or_default()
+            .push(rt, nodes);
+        self.global.entry(bucket).or_default().push(rt, nodes);
+        self.total_sum += rt;
+        self.total_n += 1;
+        self.max_seen = self.max_seen.max(rt);
+    }
+
+    fn reset(&mut self) {
+        *self = GibbonsPredictor::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::{JobBuilder, JobId, SymbolTable};
+
+    fn job(
+        syms: &mut SymbolTable,
+        user: &str,
+        exe: &str,
+        nodes: u32,
+        rt: i64,
+    ) -> qpredict_workload::Job {
+        let u = syms.intern(user);
+        let e = syms.intern(exe);
+        JobBuilder::new()
+            .with(Characteristic::User, u)
+            .with(Characteristic::Executable, e)
+            .nodes(nodes)
+            .runtime(Dur(rt))
+            .build(JobId(0))
+    }
+
+    #[test]
+    fn exponential_buckets() {
+        assert_eq!(node_bucket(1), 0);
+        assert_eq!(node_bucket(2), 1);
+        assert_eq!(node_bucket(3), 1);
+        assert_eq!(node_bucket(4), 2);
+        assert_eq!(node_bucket(7), 2);
+        assert_eq!(node_bucket(8), 3);
+        assert_eq!(node_bucket(512), 9);
+    }
+
+    #[test]
+    fn cold_start_falls_back() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        let j = job(&mut syms, "a", "x", 4, 100);
+        let pred = p.predict(&j, Dur::ZERO);
+        assert!(pred.fallback);
+    }
+
+    #[test]
+    fn level1_exact_match_wins() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        // Alice's `x` on 4 nodes: 100 s. Bob's `x` on 4 nodes: 900 s.
+        for _ in 0..3 {
+            p.on_complete(&job(&mut syms, "alice", "x", 4, 100));
+            p.on_complete(&job(&mut syms, "bob", "x", 4, 900));
+        }
+        let pred = p.predict(&job(&mut syms, "alice", "x", 4, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert_eq!(pred.estimate, Dur(100));
+    }
+
+    #[test]
+    fn level3_pools_users_for_same_executable() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        for _ in 0..3 {
+            p.on_complete(&job(&mut syms, "alice", "x", 4, 100));
+            p.on_complete(&job(&mut syms, "bob", "x", 4, 300));
+        }
+        // Carol has never run `x`: levels 1-2 are empty for her; level 3
+        // pools alice's and bob's runs.
+        let pred = p.predict(&job(&mut syms, "carol", "x", 4, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert_eq!(pred.estimate, Dur(200));
+    }
+
+    #[test]
+    fn level2_regression_extrapolates_across_buckets() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        // Alice's `x`: runtime ~ 100 * nodes, in buckets 0 (1 node) and
+        // 2 (4 nodes).
+        for _ in 0..3 {
+            p.on_complete(&job(&mut syms, "alice", "x", 1, 100));
+            p.on_complete(&job(&mut syms, "alice", "x", 4, 400));
+        }
+        // 16 nodes: bucket 4 has no data, level 1 invalid; level 2
+        // regression across subcategory means predicts ~1600.
+        let pred = p.predict(&job(&mut syms, "alice", "x", 16, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert!(
+            (pred.estimate.seconds() - 1600).abs() <= 2,
+            "got {:?}",
+            pred.estimate
+        );
+    }
+
+    #[test]
+    fn level5_uses_node_bucket_across_everything() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        p.on_complete(&job(&mut syms, "a", "x", 8, 500));
+        p.on_complete(&job(&mut syms, "b", "y", 9, 700));
+        // New user, new exe, 10 nodes (bucket 3, same as 8 and 9).
+        let pred = p.predict(&job(&mut syms, "c", "z", 10, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert_eq!(pred.estimate, Dur(600));
+    }
+
+    #[test]
+    fn rtime_conditioning_at_level1() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        for rt in [10, 10, 10, 6000, 8000] {
+            p.on_complete(&job(&mut syms, "a", "x", 4, rt));
+        }
+        let queued = p.predict(&job(&mut syms, "a", "x", 4, 1), Dur::ZERO);
+        assert_eq!(queued.estimate, Dur((10 + 10 + 10 + 6000 + 8000) / 5));
+        let running = p.predict(&job(&mut syms, "a", "x", 4, 1), Dur(100));
+        assert_eq!(running.estimate, Dur(7000));
+    }
+
+    #[test]
+    fn missing_characteristics_pool_as_unknown() {
+        let mut p = GibbonsPredictor::new();
+        let anon = |nodes: u32, rt: i64| {
+            JobBuilder::new().nodes(nodes).runtime(Dur(rt)).build(JobId(0))
+        };
+        p.on_complete(&anon(4, 100));
+        p.on_complete(&anon(4, 300));
+        let pred = p.predict(&anon(4, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert_eq!(pred.estimate, Dur(200));
+    }
+
+    #[test]
+    fn prediction_exceeds_elapsed_even_from_fallback() {
+        let mut p = GibbonsPredictor::new();
+        let j = JobBuilder::new().nodes(2).build(JobId(0));
+        let pred = p.predict(&j, Dur(9999));
+        assert!(pred.estimate >= Dur(10_000));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        p.on_complete(&job(&mut syms, "a", "x", 4, 100));
+        p.reset();
+        assert!(p.predict(&job(&mut syms, "a", "x", 4, 1), Dur::ZERO).fallback);
+    }
+
+    #[test]
+    fn extrapolation_is_capped() {
+        // Steep runtime-vs-nodes slope; a 512-node probe would
+        // extrapolate to ~51200 s, but the cap is 2 x max seen (7200 s
+        // here... below the 3600 floor? 2*3600=7200).
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        for n in [1u32, 2, 4] {
+            for _ in 0..3 {
+                p.on_complete(&job(&mut syms, "a", "x", n, (n as i64) * 900));
+            }
+        }
+        let pred = p.predict(&job(&mut syms, "a", "x", 512, 1), Dur::ZERO);
+        assert!(!pred.fallback);
+        assert!(
+            pred.estimate <= Dur(7200),
+            "runaway extrapolation: {:?}",
+            pred.estimate
+        );
+    }
+
+    #[test]
+    fn deterministic_regression_order() {
+        // Subcategory iteration is sorted; repeated predictions agree.
+        let mut syms = SymbolTable::new();
+        let mut p = GibbonsPredictor::new();
+        for n in [1u32, 2, 4, 8, 16] {
+            for _ in 0..3 {
+                p.on_complete(&job(&mut syms, "a", "x", n, (n as i64) * 50 + 7));
+            }
+        }
+        let a = p.predict(&job(&mut syms, "a", "x", 32, 1), Dur::ZERO);
+        let b = p.predict(&job(&mut syms, "a", "x", 32, 1), Dur::ZERO);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,117 @@
+#![warn(missing_docs)]
+
+//! Run-time predictors for batch jobs.
+//!
+//! The centerpiece is [`SmithPredictor`] — the paper's contribution: a
+//! history-based predictor whose notion of "similar past jobs" is defined
+//! by a set of [`Template`]s over job characteristics, with per-category
+//! mean/regression estimators and confidence intervals; the estimate with
+//! the smallest confidence interval wins.
+//!
+//! The baselines the paper compares against are here too:
+//!
+//! * [`GibbonsPredictor`] — Gibbons' fixed six-template hierarchy with
+//!   weighted linear regression (paper Table 3),
+//! * [`DowneyPredictor`] — Downey's log-uniform CDF model with the
+//!   conditional-average and conditional-median estimators,
+//! * [`MaxRuntimePredictor`] — user-supplied maximum run times (EASY
+//!   style), with per-queue maxima derived for traces that record none,
+//! * [`OraclePredictor`] — the actual run times (perfect information).
+//!
+//! All predictors implement [`RunTimePredictor`]: they produce a
+//! [`Prediction`] for a job given how long it has already been running,
+//! and they learn from completions (`on_complete`), mirroring the paper's
+//! step 3 ("at the time each application completes execution").
+
+pub mod baseline;
+pub mod category;
+pub mod downey;
+pub mod error;
+pub mod estimators;
+pub mod gibbons;
+pub mod smith;
+pub mod template;
+
+pub use baseline::{MaxRuntimePredictor, OraclePredictor};
+pub use downey::{DowneyPredictor, DowneyVariant};
+pub use error::ErrorStats;
+pub use gibbons::GibbonsPredictor;
+pub use smith::SmithPredictor;
+pub use template::{CharSet, EstimatorKind, Template, TemplateSet};
+
+use qpredict_workload::{Dur, Job};
+
+/// A run-time prediction with its uncertainty.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted total run time.
+    pub estimate: Dur,
+    /// Half-width of the confidence interval around the estimate, in
+    /// seconds. `INFINITY` when the source cannot quantify uncertainty
+    /// (single data point, fallback paths).
+    pub ci_halfwidth: f64,
+    /// True when no category could predict and a fallback (global mean,
+    /// user limit, or constant) was used.
+    pub fallback: bool,
+}
+
+impl Prediction {
+    /// A prediction from a fallback source.
+    pub fn fallback(estimate: Dur) -> Prediction {
+        Prediction {
+            estimate,
+            ci_halfwidth: f64::INFINITY,
+            fallback: true,
+        }
+    }
+
+    /// Clamp the estimate so it is positive and exceeds the elapsed run
+    /// time (a running job's total run time is at least `elapsed + 1`).
+    pub fn clamped(mut self, elapsed: Dur) -> Prediction {
+        self.estimate = self.estimate.max(elapsed + Dur::SECOND).max(Dur::SECOND);
+        self
+    }
+}
+
+/// A run-time predictor: produces predictions on demand and learns from
+/// completed jobs.
+pub trait RunTimePredictor {
+    /// Short display name, e.g. `"smith"`, `"gibbons"`.
+    fn name(&self) -> &'static str;
+
+    /// Predict the **total** run time of `job`, which has been running
+    /// for `elapsed` (zero if still queued). Implementations always
+    /// return a prediction; when no history applies they fall back and
+    /// mark the result accordingly. The returned estimate is positive and
+    /// at least `elapsed + 1`.
+    fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction;
+
+    /// Incorporate a completed job into the predictor's history.
+    fn on_complete(&mut self, job: &Job);
+
+    /// Discard all accumulated history.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_respects_elapsed() {
+        let p = Prediction {
+            estimate: Dur(10),
+            ci_halfwidth: 1.0,
+            fallback: false,
+        };
+        assert_eq!(p.clamped(Dur(100)).estimate, Dur(101));
+        assert_eq!(p.clamped(Dur::ZERO).estimate, Dur(10));
+    }
+
+    #[test]
+    fn fallback_marks_infinite_ci() {
+        let p = Prediction::fallback(Dur(60));
+        assert!(p.fallback);
+        assert!(p.ci_halfwidth.is_infinite());
+    }
+}

@@ -1,0 +1,409 @@
+//! The paper's template-based run-time predictor.
+//!
+//! Algorithm (Section 2.1):
+//!
+//! 1. A set of templates `T` defines categories.
+//! 2. To predict a job: find the categories it falls into, drop those
+//!    that cannot provide a valid prediction, compute a run-time estimate
+//!    and confidence interval per category, and **select the estimate
+//!    with the smallest confidence interval**.
+//! 3. When a job completes, insert it into every matching category,
+//!    evicting the oldest point where a maximum history applies.
+//!
+//! Per-template options: mean or linear/inverse/logarithmic regression of
+//! run time on node count; absolute or relative (to the user limit) run
+//! times; optional conditioning on the job's elapsed running time ("use
+//! only data points whose run time exceeds the elapsed time" — the
+//! paper's phrasing says "less than", which we read as a typo since a job
+//! running for `a` seconds is guaranteed a run time of at least `a`; see
+//! DESIGN.md).
+
+use qpredict_workload::{Dur, Job};
+
+use crate::category::{CategoryStore, History, Point};
+use crate::estimators::{mean, mean_from_moments, regression, Estimate};
+use crate::template::{Template, TemplateSet};
+use crate::{Prediction, RunTimePredictor};
+
+/// History-based predictor driven by a [`TemplateSet`].
+#[derive(Debug, Clone)]
+pub struct SmithPredictor {
+    set: TemplateSet,
+    store: CategoryStore,
+    /// Running mean of all completed run times — the last-resort
+    /// fallback when no category can predict.
+    global_sum: f64,
+    global_n: u64,
+    /// Longest run time observed so far; regression templates can
+    /// extrapolate wildly at unseen node counts, so predictions are
+    /// clamped to twice this (floor: one hour).
+    max_seen: f64,
+}
+
+impl SmithPredictor {
+    /// Build a predictor over `set` with empty history.
+    pub fn new(set: TemplateSet) -> SmithPredictor {
+        SmithPredictor {
+            set,
+            store: CategoryStore::new(),
+            global_sum: 0.0,
+            global_n: 0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// The template set in use.
+    pub fn template_set(&self) -> &TemplateSet {
+        &self.set
+    }
+
+    /// Number of live categories (diagnostics).
+    pub fn category_count(&self) -> usize {
+        self.store.category_count()
+    }
+
+    /// Estimate from one template's category for `job`, if valid.
+    fn category_estimate(
+        &self,
+        ti: usize,
+        t: &Template,
+        job: &Job,
+        elapsed: Dur,
+        history: &History,
+    ) -> Option<Estimate> {
+        let _ = ti;
+        let elapsed_s = elapsed.as_secs_f64();
+        // Value extraction: absolute seconds, or ratio-to-limit scaled
+        // back to seconds by this job's limit.
+        let limit_s = job.max_runtime.map(|m| m.as_secs_f64().max(1.0));
+        let filter = |p: &&Point| -> bool {
+            if t.use_rtime && elapsed_s > 0.0 && p.runtime <= elapsed_s {
+                return false;
+            }
+            if t.relative && !p.ratio.is_finite() {
+                return false;
+            }
+            true
+        };
+        let value_of = |p: &Point| -> f64 {
+            if t.relative {
+                p.ratio
+            } else {
+                p.runtime
+            }
+        };
+        let est = match t.estimator.regression() {
+            // Fast path: a plain mean without elapsed-time filtering
+            // reads the running aggregates instead of scanning history.
+            None if !(t.use_rtime && elapsed_s > 0.0) => {
+                let m = if t.relative {
+                    history.ratio_moments()
+                } else {
+                    history.abs_moments()
+                };
+                mean_from_moments(m.n, m.sum, m.sum2)
+            }
+            None => mean(history.iter().filter(filter).map(&value_of)),
+            Some(kind) => regression(
+                kind,
+                history.iter().filter(filter).map(|p| (p.nodes, value_of(p))),
+                job.nodes as f64,
+            ),
+        }?;
+        // Scale relative estimates back to seconds.
+        let est = if t.relative {
+            let l = limit_s?; // applies_to guarantees Some, but stay safe
+            Estimate {
+                value: est.value * l,
+                ci: est.ci * l,
+                n: est.n,
+            }
+        } else {
+            est
+        };
+        if !est.value.is_finite() {
+            return None;
+        }
+        Some(est)
+    }
+
+    fn fallback_estimate(&self, job: &Job) -> Dur {
+        if self.global_n > 0 {
+            Dur::from_secs_f64(self.global_sum / self.global_n as f64)
+        } else if let Some(m) = job.max_runtime {
+            m
+        } else {
+            Dur::HOUR
+        }
+    }
+}
+
+impl RunTimePredictor for SmithPredictor {
+    fn name(&self) -> &'static str {
+        "smith"
+    }
+
+    fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        // Step 2: gather candidate estimates and keep the one with the
+        // smallest confidence interval. Ties (e.g. two infinite
+        // intervals) break toward more data points, then higher template
+        // specificity, then template order — all deterministic.
+        let mut best: Option<(f64, usize, u32, usize, f64)> = None;
+        // (ci, n, specificity, ti, value) — kept flat for cheap compares.
+        for (ti, t) in self.set.templates().iter().enumerate() {
+            let Some(history) = self.store.history(ti, t, job) else {
+                continue;
+            };
+            let Some(est) = self.category_estimate(ti, t, job, elapsed, history) else {
+                continue;
+            };
+            let better = match best {
+                None => true,
+                Some((bci, bn, bspec, bti, _)) => {
+                    (est.ci, std::cmp::Reverse(est.n), std::cmp::Reverse(t.specificity()), ti)
+                        .partial_cmp(&(bci, std::cmp::Reverse(bn), std::cmp::Reverse(bspec), bti))
+                        .map(|o| o == std::cmp::Ordering::Less)
+                        .unwrap_or(false)
+                }
+            };
+            if better {
+                best = Some((est.ci, est.n, t.specificity(), ti, est.value));
+            }
+        }
+        let cap = (self.max_seen * 2.0).max(3600.0);
+        match best {
+            Some((ci, _, _, _, value)) => Prediction {
+                estimate: Dur::from_secs_f64(value.clamp(1.0, cap)),
+                ci_halfwidth: ci,
+                fallback: false,
+            }
+            .clamped(elapsed),
+            None => Prediction::fallback(self.fallback_estimate(job)).clamped(elapsed),
+        }
+    }
+
+    fn on_complete(&mut self, job: &Job) {
+        self.store.insert(&self.set, job);
+        self.global_sum += job.runtime.as_secs_f64();
+        self.global_n += 1;
+        self.max_seen = self.max_seen.max(job.runtime.as_secs_f64());
+    }
+
+    fn reset(&mut self) {
+        self.store.clear();
+        self.global_sum = 0.0;
+        self.global_n = 0;
+        self.max_seen = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::{EstimatorKind, TemplateSet};
+    use qpredict_workload::{Characteristic, JobBuilder, JobId, SymbolTable};
+
+    fn user_set() -> TemplateSet {
+        TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]),
+            Template::mean_over(&[]),
+        ])
+    }
+
+    fn job(syms: &mut SymbolTable, user: &str, rt: i64) -> qpredict_workload::Job {
+        let u = syms.intern(user);
+        JobBuilder::new()
+            .with(Characteristic::User, u)
+            .runtime(Dur(rt))
+            .build(JobId(0))
+    }
+
+    #[test]
+    fn cold_start_falls_back() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        let j = job(&mut syms, "alice", 100);
+        let pred = p.predict(&j, Dur::ZERO);
+        assert!(pred.fallback);
+        assert_eq!(pred.estimate, Dur::HOUR); // no history, no limit
+    }
+
+    #[test]
+    fn fallback_prefers_limit_then_global_mean() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        let with_limit = JobBuilder::new().max_runtime(Dur(900)).build(JobId(0));
+        assert_eq!(p.predict(&with_limit, Dur::ZERO).estimate, Dur(900));
+        // After completions the global mean takes over for jobs with no
+        // matching category... but the empty-charset template matches
+        // everything, so use a user-only set to exercise the fallback.
+        let only_user = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
+        let mut p = SmithPredictor::new(only_user);
+        p.on_complete(&job(&mut syms, "alice", 200));
+        p.on_complete(&job(&mut syms, "alice", 400));
+        let anon = JobBuilder::new().build(JobId(1));
+        let pred = p.predict(&anon, Dur::ZERO);
+        assert!(pred.fallback);
+        assert_eq!(pred.estimate, Dur(300)); // global mean
+    }
+
+    #[test]
+    fn learns_user_specific_runtimes() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        for _ in 0..5 {
+            p.on_complete(&job(&mut syms, "alice", 100));
+            p.on_complete(&job(&mut syms, "bob", 1000));
+        }
+        let pa = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        let pb = p.predict(&job(&mut syms, "bob", 1), Dur::ZERO);
+        assert!(!pa.fallback && !pb.fallback);
+        assert_eq!(pa.estimate, Dur(100));
+        assert_eq!(pb.estimate, Dur(1000));
+    }
+
+    #[test]
+    fn smallest_ci_wins() {
+        // Alice's history is tight (ci ~ 0); the global category mixes
+        // alice and bob and is wide. Prediction must come from the tight
+        // category.
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        for _ in 0..4 {
+            p.on_complete(&job(&mut syms, "alice", 100));
+            p.on_complete(&job(&mut syms, "bob", 2000));
+        }
+        let pred = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        assert_eq!(pred.estimate, Dur(100));
+        assert!(pred.ci_halfwidth < 1.0);
+    }
+
+    #[test]
+    fn relative_template_scales_by_limit() {
+        let mut syms = SymbolTable::new();
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]).relative()
+        ]);
+        let mut p = SmithPredictor::new(set);
+        let u = syms.intern("alice");
+        // Alice uses 50% of her limit, twice.
+        for _ in 0..2 {
+            let j = JobBuilder::new()
+                .with(Characteristic::User, u)
+                .runtime(Dur(300))
+                .max_runtime(Dur(600))
+                .build(JobId(0));
+            p.on_complete(&j);
+        }
+        // New job with a 2000 s limit: predict ~1000 s.
+        let j = JobBuilder::new()
+            .with(Characteristic::User, u)
+            .max_runtime(Dur(2000))
+            .build(JobId(1));
+        let pred = p.predict(&j, Dur::ZERO);
+        assert!(!pred.fallback);
+        assert_eq!(pred.estimate, Dur(1000));
+    }
+
+    #[test]
+    fn rtime_conditioning_drops_short_points() {
+        let mut syms = SymbolTable::new();
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]).with_rtime()
+        ]);
+        let mut p = SmithPredictor::new(set);
+        // History: mostly short runs, one long.
+        for rt in [10, 10, 10, 10, 5000] {
+            p.on_complete(&job(&mut syms, "alice", rt));
+        }
+        // Queued job: mean of all five.
+        let queued = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        assert_eq!(queued.estimate, Dur(1008)); // (40 + 5000)/5
+        // Job already running 60 s: the four 10-second points are
+        // impossible; predict from the 5000 s point alone.
+        let running = p.predict(&job(&mut syms, "alice", 1), Dur(60));
+        assert_eq!(running.estimate, Dur(5000));
+    }
+
+    #[test]
+    fn prediction_exceeds_elapsed() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        for _ in 0..3 {
+            p.on_complete(&job(&mut syms, "alice", 100));
+        }
+        let pred = p.predict(&job(&mut syms, "alice", 1), Dur(500));
+        assert!(pred.estimate >= Dur(501));
+    }
+
+    #[test]
+    fn max_history_keeps_recent_points() {
+        let mut syms = SymbolTable::new();
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]).with_max_history(2)
+        ]);
+        let mut p = SmithPredictor::new(set);
+        p.on_complete(&job(&mut syms, "alice", 1000));
+        p.on_complete(&job(&mut syms, "alice", 100));
+        p.on_complete(&job(&mut syms, "alice", 100));
+        // The 1000 s point must be gone.
+        let pred = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        assert_eq!(pred.estimate, Dur(100));
+    }
+
+    #[test]
+    fn regression_template_tracks_node_scaling() {
+        let set = TemplateSet::new(vec![Template::mean_over(&[])
+            .with_estimator(EstimatorKind::LinearRegression)]);
+        let mut p = SmithPredictor::new(set);
+        for (n, rt) in [(1, 100), (2, 200), (4, 400), (8, 800)] {
+            let j = JobBuilder::new().nodes(n).runtime(Dur(rt)).build(JobId(0));
+            p.on_complete(&j);
+        }
+        let j = JobBuilder::new().nodes(16).build(JobId(1));
+        let pred = p.predict(&j, Dur::ZERO);
+        assert!(!pred.fallback);
+        assert!((pred.estimate.seconds() - 1600).abs() <= 1);
+    }
+
+    #[test]
+    fn regression_extrapolation_is_capped() {
+        let set = TemplateSet::new(vec![Template::mean_over(&[])
+            .with_estimator(EstimatorKind::LinearRegression)]);
+        let mut p = SmithPredictor::new(set);
+        for (n, rt) in [(1, 600), (2, 1200), (4, 2400)] {
+            let j = JobBuilder::new().nodes(n).runtime(Dur(rt)).build(JobId(0));
+            p.on_complete(&j);
+        }
+        // Raw extrapolation at 1024 nodes would be ~614400 s; the cap is
+        // 2 x 2400 = 4800.
+        let j = JobBuilder::new().nodes(1024).build(JobId(1));
+        let pred = p.predict(&j, Dur::ZERO);
+        assert!(pred.estimate <= Dur(4800), "got {:?}", pred.estimate);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        p.on_complete(&job(&mut syms, "alice", 100));
+        assert!(p.category_count() > 0);
+        p.reset();
+        assert_eq!(p.category_count(), 0);
+        assert!(p.predict(&job(&mut syms, "alice", 1), Dur::ZERO).fallback);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two single-point categories with infinite CI: the more
+        // specific (user) template must win over the global one
+        // deterministically.
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        p.on_complete(&job(&mut syms, "alice", 100));
+        let pred1 = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        let pred2 = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
+        assert_eq!(pred1, pred2);
+        assert_eq!(pred1.estimate, Dur(100));
+    }
+}

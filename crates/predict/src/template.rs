@@ -1,0 +1,432 @@
+//! Templates and template sets — the paper's definition of job
+//! similarity.
+//!
+//! A [`Template`] selects a subset of job characteristics (and optionally
+//! a node-range size); two jobs matching on all selected values fall into
+//! the same *category*. Each template also fixes how predictions are
+//! formed from a category (mean or regression, absolute or relative run
+//! times, optional conditioning on elapsed running time) and how much
+//! history the category retains.
+
+use std::fmt;
+
+use qpredict_workload::{Characteristic, Job, CHARACTERISTICS};
+
+use crate::estimators::RegressionKind;
+
+/// A set of categorical characteristics, as a bitmask over
+/// [`CHARACTERISTICS`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CharSet(pub u8);
+
+impl CharSet {
+    /// The empty set.
+    pub const EMPTY: CharSet = CharSet(0);
+
+    /// Build from a list of characteristics.
+    pub fn of(chars: &[Characteristic]) -> CharSet {
+        let mut m = 0u8;
+        for c in chars {
+            m |= 1 << c.index();
+        }
+        CharSet(m)
+    }
+
+    /// Does the set contain `c`?
+    #[inline]
+    pub fn contains(self, c: Characteristic) -> bool {
+        self.0 & (1 << c.index()) != 0
+    }
+
+    /// Add `c`.
+    pub fn insert(&mut self, c: Characteristic) {
+        self.0 |= 1 << c.index();
+    }
+
+    /// Remove `c`.
+    pub fn remove(&mut self, c: Characteristic) {
+        self.0 &= !(1 << c.index());
+    }
+
+    /// Number of characteristics in the set.
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// True when no characteristic is selected.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterate the contained characteristics in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Characteristic> {
+        CHARACTERISTICS
+            .into_iter()
+            .filter(move |c| self.contains(*c))
+    }
+}
+
+/// Which estimator a template applies to its categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EstimatorKind {
+    /// Sample mean (the paper found this the single best predictor).
+    Mean,
+    /// Linear regression of the value on the node count.
+    LinearRegression,
+    /// Inverse regression (`y = a + b/n`).
+    InverseRegression,
+    /// Logarithmic regression (`y = a + b ln n`).
+    LogRegression,
+}
+
+impl EstimatorKind {
+    /// All estimator kinds, in the paper's encoding order.
+    pub const ALL: [EstimatorKind; 4] = [
+        EstimatorKind::Mean,
+        EstimatorKind::LinearRegression,
+        EstimatorKind::InverseRegression,
+        EstimatorKind::LogRegression,
+    ];
+
+    /// The regression family, if this is a regression.
+    pub fn regression(self) -> Option<RegressionKind> {
+        match self {
+            EstimatorKind::Mean => None,
+            EstimatorKind::LinearRegression => Some(RegressionKind::Linear),
+            EstimatorKind::InverseRegression => Some(RegressionKind::Inverse),
+            EstimatorKind::LogRegression => Some(RegressionKind::Logarithmic),
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            EstimatorKind::Mean => "mean",
+            EstimatorKind::LinearRegression => "lin",
+            EstimatorKind::InverseRegression => "inv",
+            EstimatorKind::LogRegression => "log",
+        }
+    }
+}
+
+/// One similarity template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Template {
+    /// Which categorical characteristics must match.
+    pub chars: CharSet,
+    /// `Some(k)` partitions jobs by node ranges of size `2^k`
+    /// (the paper's range sizes are 1..512 in powers of two, so
+    /// `k` is 0..=9); `None` ignores node counts.
+    pub node_range_log2: Option<u8>,
+    /// Maximum data points a category retains (`None` = unlimited; the
+    /// paper's limits are powers of two from 2 to 65536).
+    pub max_history: Option<u32>,
+    /// Store relative run times (`actual / user limit`) instead of
+    /// absolute; only applicable to jobs with a recorded limit.
+    pub relative: bool,
+    /// Condition on elapsed running time: predict only from data points
+    /// whose run time exceeds the job's elapsed time.
+    pub use_rtime: bool,
+    /// How predictions are formed from a category.
+    pub estimator: EstimatorKind,
+}
+
+impl Template {
+    /// A mean-of-absolute-run-times template over `chars` with no node
+    /// ranges and unlimited history — the simplest useful form.
+    pub fn mean_over(chars: &[Characteristic]) -> Template {
+        Template {
+            chars: CharSet::of(chars),
+            node_range_log2: None,
+            max_history: None,
+            relative: false,
+            use_rtime: false,
+            estimator: EstimatorKind::Mean,
+        }
+    }
+
+    /// Builder-style: set a node range size of `2^k`.
+    pub fn with_node_range(mut self, k: u8) -> Template {
+        self.node_range_log2 = Some(k.min(9));
+        self
+    }
+
+    /// Builder-style: use relative run times.
+    pub fn relative(mut self) -> Template {
+        self.relative = true;
+        self
+    }
+
+    /// Builder-style: condition on elapsed running time.
+    pub fn with_rtime(mut self) -> Template {
+        self.use_rtime = true;
+        self
+    }
+
+    /// Builder-style: cap category history.
+    pub fn with_max_history(mut self, h: u32) -> Template {
+        self.max_history = Some(h.max(2));
+        self
+    }
+
+    /// Builder-style: set the estimator.
+    pub fn with_estimator(mut self, e: EstimatorKind) -> Template {
+        self.estimator = e;
+        self
+    }
+
+    /// Whether `job` can fall into a category of this template: it must
+    /// record every selected characteristic, and relative templates need
+    /// a recorded limit.
+    pub fn applies_to(&self, job: &Job) -> bool {
+        if self.relative && job.max_runtime.is_none() {
+            return false;
+        }
+        self.chars.iter().all(|c| job.characteristic(c).is_some())
+    }
+
+    /// The node bucket `job` falls into under this template's range size
+    /// (`None` when node counts are ignored).
+    pub fn node_bucket(&self, job: &Job) -> Option<u32> {
+        self.node_range_log2
+            .map(|k| (job.nodes.max(1) - 1) >> k)
+    }
+
+    /// Specificity: how many constraints the template imposes. Used only
+    /// for deterministic tie-breaking between equal confidence intervals.
+    pub fn specificity(&self) -> u32 {
+        self.chars.len() + u32::from(self.node_range_log2.is_some())
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<String> =
+            self.chars.iter().map(|c| c.abbrev().to_string()).collect();
+        if let Some(k) = self.node_range_log2 {
+            parts.push(format!("n={}", 1u32 << k));
+        }
+        if self.use_rtime {
+            parts.push("rtime".into());
+        }
+        write!(f, "({})", parts.join(","))?;
+        write!(f, "[{}", self.estimator.tag())?;
+        if self.relative {
+            write!(f, ",rel")?;
+        }
+        if let Some(h) = self.max_history {
+            write!(f, ",h={h}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An ordered collection of 1 to 10 templates (the paper's chromosome
+/// bounds).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TemplateSet {
+    templates: Vec<Template>,
+}
+
+/// The paper's maximum number of templates per set.
+pub const MAX_TEMPLATES: usize = 10;
+
+impl TemplateSet {
+    /// Build from templates.
+    ///
+    /// # Panics
+    /// Panics if `templates` is empty or exceeds [`MAX_TEMPLATES`].
+    pub fn new(templates: Vec<Template>) -> TemplateSet {
+        assert!(
+            !templates.is_empty() && templates.len() <= MAX_TEMPLATES,
+            "a template set holds 1 to {MAX_TEMPLATES} templates, got {}",
+            templates.len()
+        );
+        TemplateSet { templates }
+    }
+
+    /// The templates, in order.
+    pub fn templates(&self) -> &[Template] {
+        &self.templates
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Always false (sets are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// A sensible default set for a workload that records the given
+    /// characteristics: progressively coarser user/identity templates
+    /// with small node ranges, plus relative variants when limits exist.
+    /// This is the starting point when no genetic search has been run.
+    pub fn default_for(
+        recorded: &[Characteristic],
+        has_max_runtimes: bool,
+    ) -> TemplateSet {
+        use Characteristic as C;
+        let rec = |c: C| recorded.contains(&c);
+        let mut ts: Vec<Template> = Vec::new();
+        // Most specific: identity characteristics + fine node ranges.
+        let mut ident: Vec<C> = Vec::new();
+        for c in [C::User, C::Executable, C::Arguments, C::Queue, C::Class] {
+            if rec(c) {
+                ident.push(c);
+            }
+        }
+        if !ident.is_empty() {
+            ts.push(Template::mean_over(&ident).with_node_range(1));
+            if has_max_runtimes {
+                ts.push(Template::mean_over(&ident).relative());
+            }
+        }
+        if rec(C::User) && rec(C::Executable) {
+            ts.push(Template::mean_over(&[C::User, C::Executable]).with_node_range(3));
+        }
+        if rec(C::User) && rec(C::Queue) {
+            ts.push(Template::mean_over(&[C::User, C::Queue]));
+        }
+        if rec(C::User) {
+            ts.push(Template::mean_over(&[C::User]).with_max_history(128));
+            if has_max_runtimes {
+                ts.push(Template::mean_over(&[C::User]).relative().with_max_history(128));
+            }
+        }
+        if rec(C::Queue) {
+            ts.push(Template::mean_over(&[C::Queue]).with_rtime());
+        }
+        if rec(C::Executable) {
+            ts.push(Template::mean_over(&[C::Executable]));
+        }
+        ts.push(Template::mean_over(&[]).with_node_range(5).with_max_history(256));
+        ts.truncate(MAX_TEMPLATES);
+        TemplateSet::new(ts)
+    }
+}
+
+impl fmt::Display for TemplateSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.templates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::{Dur, JobBuilder, JobId, SymbolTable};
+
+    #[test]
+    fn charset_ops() {
+        let mut s = CharSet::of(&[Characteristic::User, Characteristic::Queue]);
+        assert!(s.contains(Characteristic::User));
+        assert!(!s.contains(Characteristic::Executable));
+        assert_eq!(s.len(), 2);
+        s.insert(Characteristic::Executable);
+        assert_eq!(s.len(), 3);
+        s.remove(Characteristic::User);
+        assert!(!s.contains(Characteristic::User));
+        let collected: Vec<_> = s.iter().collect();
+        assert_eq!(
+            collected,
+            vec![Characteristic::Queue, Characteristic::Executable]
+        );
+    }
+
+    #[test]
+    fn node_buckets() {
+        let t = Template::mean_over(&[]).with_node_range(2); // ranges of 4
+        let mk = |n: u32| JobBuilder::new().nodes(n).build(JobId(0));
+        assert_eq!(t.node_bucket(&mk(1)), Some(0));
+        assert_eq!(t.node_bucket(&mk(4)), Some(0));
+        assert_eq!(t.node_bucket(&mk(5)), Some(1));
+        assert_eq!(t.node_bucket(&mk(8)), Some(1));
+        let t0 = Template::mean_over(&[]);
+        assert_eq!(t0.node_bucket(&mk(64)), None);
+    }
+
+    #[test]
+    fn applies_requires_recorded_chars() {
+        let mut syms = SymbolTable::new();
+        let u = syms.intern("alice");
+        let with_user = JobBuilder::new()
+            .with(Characteristic::User, u)
+            .build(JobId(0));
+        let without = JobBuilder::new().build(JobId(1));
+        let t = Template::mean_over(&[Characteristic::User]);
+        assert!(t.applies_to(&with_user));
+        assert!(!t.applies_to(&without));
+    }
+
+    #[test]
+    fn relative_requires_limit() {
+        let t = Template::mean_over(&[]).relative();
+        let with_limit = JobBuilder::new().max_runtime(Dur(100)).build(JobId(0));
+        let without = JobBuilder::new().build(JobId(1));
+        assert!(t.applies_to(&with_limit));
+        assert!(!t.applies_to(&without));
+    }
+
+    #[test]
+    fn display_round_trips_semantics() {
+        let t = Template::mean_over(&[Characteristic::User, Characteristic::Executable])
+            .with_node_range(2)
+            .relative()
+            .with_rtime()
+            .with_max_history(64);
+        let s = t.to_string();
+        assert!(s.contains("u"), "{s}");
+        assert!(s.contains("e"), "{s}");
+        assert!(s.contains("n=4"), "{s}");
+        assert!(s.contains("rtime"), "{s}");
+        assert!(s.contains("rel"), "{s}");
+        assert!(s.contains("h=64"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "1 to 10")]
+    fn set_rejects_empty() {
+        TemplateSet::new(vec![]);
+    }
+
+    #[test]
+    fn default_set_adapts_to_recording() {
+        let anl_like = TemplateSet::default_for(
+            &[
+                Characteristic::Type,
+                Characteristic::User,
+                Characteristic::Executable,
+                Characteristic::Arguments,
+            ],
+            true,
+        );
+        assert!(anl_like.len() >= 4);
+        assert!(anl_like.templates().iter().any(|t| t.relative));
+
+        let sdsc_like =
+            TemplateSet::default_for(&[Characteristic::Queue, Characteristic::User], false);
+        assert!(sdsc_like.len() >= 3);
+        assert!(sdsc_like.templates().iter().all(|t| !t.relative));
+        assert!(sdsc_like
+            .templates()
+            .iter()
+            .any(|t| t.chars.contains(Characteristic::Queue)));
+    }
+
+    #[test]
+    fn specificity_ordering() {
+        let broad = Template::mean_over(&[]);
+        let narrow = Template::mean_over(&[Characteristic::User, Characteristic::Executable])
+            .with_node_range(0);
+        assert!(narrow.specificity() > broad.specificity());
+    }
+}

@@ -1,0 +1,199 @@
+//! Binary chromosome encoding of template sets (Section 2.1, "Template
+//! Definition and Search").
+//!
+//! Each template is a fixed-width field of [`BITS_PER_TEMPLATE`] bits; a
+//! chromosome is 1 to 10 such fields. The encoded facets follow the
+//! paper's list:
+//!
+//! 1. mean or one of the three regressions (2 bits),
+//! 2. absolute or relative run times (1 bit),
+//! 3. one enable bit per workload characteristic (8 bits),
+//! 4. node information: enable bit + range-size exponent, `2^0..2^9`
+//!    (1 + 4 bits),
+//! 5. history limit: enable bit + exponent, `2^1..2^16` (1 + 4 bits),
+//!
+//! plus one bit for conditioning on elapsed running time, which the paper
+//! defines per template alongside the other facets.
+
+use qpredict_predict::{CharSet, EstimatorKind, Template, TemplateSet};
+use qpredict_workload::CHARACTERISTICS;
+
+/// Bits encoding one template.
+pub const BITS_PER_TEMPLATE: usize = 2 + 1 + 1 + 8 + (1 + 4) + (1 + 4);
+
+/// A template-set genome: a bit vector of `k x BITS_PER_TEMPLATE` bits,
+/// `1 <= k <= 10`.
+pub type Chromosome = Vec<bool>;
+
+/// Encode a template as its bit field.
+fn encode_template(t: &Template) -> [bool; BITS_PER_TEMPLATE] {
+    let mut b = [false; BITS_PER_TEMPLATE];
+    let est = EstimatorKind::ALL
+        .iter()
+        .position(|e| *e == t.estimator)
+        .expect("estimator is one of ALL") as u8;
+    b[0] = est & 1 != 0;
+    b[1] = est & 2 != 0;
+    b[2] = t.relative;
+    b[3] = t.use_rtime;
+    for (k, c) in CHARACTERISTICS.iter().enumerate() {
+        b[4 + k] = t.chars.contains(*c);
+    }
+    if let Some(k) = t.node_range_log2 {
+        b[12] = true;
+        for bit in 0..4 {
+            b[13 + bit] = (k >> bit) & 1 != 0;
+        }
+    }
+    if let Some(h) = t.max_history {
+        b[17] = true;
+        // h = 2^(e+1), e in 0..16
+        let e = (h.max(2).ilog2() - 1).min(15) as u8;
+        for bit in 0..4 {
+            b[18 + bit] = (e >> bit) & 1 != 0;
+        }
+    }
+    b
+}
+
+fn decode_template(b: &[bool]) -> Template {
+    debug_assert_eq!(b.len(), BITS_PER_TEMPLATE);
+    let est_idx = (b[0] as usize) | ((b[1] as usize) << 1);
+    let mut chars = CharSet::EMPTY;
+    for (k, c) in CHARACTERISTICS.iter().enumerate() {
+        if b[4 + k] {
+            chars.insert(*c);
+        }
+    }
+    let node_range_log2 = if b[12] {
+        let mut e = 0u8;
+        for bit in 0..4 {
+            e |= (b[13 + bit] as u8) << bit;
+        }
+        Some(e % 10) // paper's range sizes stop at 512 = 2^9
+    } else {
+        None
+    };
+    let max_history = if b[17] {
+        let mut e = 0u32;
+        for bit in 0..4 {
+            e |= (b[18 + bit] as u32) << bit;
+        }
+        Some(1u32 << (e + 1)) // 2 .. 65536
+    } else {
+        None
+    };
+    Template {
+        chars,
+        node_range_log2,
+        max_history,
+        relative: b[2],
+        use_rtime: b[3],
+        estimator: EstimatorKind::ALL[est_idx],
+    }
+}
+
+/// Encode a template set as a chromosome.
+pub fn encode(set: &TemplateSet) -> Chromosome {
+    let mut bits = Vec::with_capacity(set.len() * BITS_PER_TEMPLATE);
+    for t in set.templates() {
+        bits.extend_from_slice(&encode_template(t));
+    }
+    bits
+}
+
+/// Decode a chromosome into a template set.
+///
+/// # Panics
+/// Panics if the bit length is not a positive multiple of
+/// [`BITS_PER_TEMPLATE`] or exceeds 10 templates.
+pub fn decode(bits: &[bool]) -> TemplateSet {
+    assert!(
+        !bits.is_empty() && bits.len().is_multiple_of(BITS_PER_TEMPLATE),
+        "chromosome length {} is not a multiple of {BITS_PER_TEMPLATE}",
+        bits.len()
+    );
+    let templates: Vec<Template> = bits
+        .chunks_exact(BITS_PER_TEMPLATE)
+        .map(decode_template)
+        .collect();
+    TemplateSet::new(templates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::Characteristic;
+
+    fn sample_templates() -> Vec<Template> {
+        vec![
+            Template::mean_over(&[Characteristic::User, Characteristic::Executable])
+                .with_node_range(3)
+                .with_max_history(64)
+                .relative()
+                .with_rtime(),
+            Template::mean_over(&[Characteristic::Queue])
+                .with_estimator(EstimatorKind::LogRegression),
+            Template::mean_over(&[]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_templates() {
+        let set = TemplateSet::new(sample_templates());
+        let bits = encode(&set);
+        assert_eq!(bits.len(), 3 * BITS_PER_TEMPLATE);
+        let back = decode(&bits);
+        assert_eq!(&set, &back);
+    }
+
+    #[test]
+    fn every_bit_pattern_decodes() {
+        // Exhaustively check a sliding pattern: any 22-bit field is a
+        // valid template (closure of the search space).
+        for i in 0..(1u32 << 22) {
+            if i % 7919 != 0 {
+                continue; // sample the space
+            }
+            let bits: Vec<bool> = (0..BITS_PER_TEMPLATE).map(|b| (i >> b) & 1 != 0).collect();
+            let t = decode_template(&bits);
+            // Node range exponent within the paper's bounds.
+            if let Some(k) = t.node_range_log2 {
+                assert!(k <= 9);
+            }
+            if let Some(h) = t.max_history {
+                assert!((2..=65536).contains(&h));
+                assert!(h.is_power_of_two());
+            }
+        }
+    }
+
+    #[test]
+    fn history_exponent_bounds() {
+        let t = Template::mean_over(&[]).with_max_history(2);
+        let b = encode_template(&t);
+        assert_eq!(decode_template(&b).max_history, Some(2));
+        let t = Template::mean_over(&[]).with_max_history(65536);
+        let b = encode_template(&t);
+        assert_eq!(decode_template(&b).max_history, Some(65536));
+        // Non-power-of-two histories round down to the nearest encodable.
+        let t = Template::mean_over(&[]).with_max_history(100);
+        let b = encode_template(&t);
+        assert_eq!(decode_template(&b).max_history, Some(64));
+    }
+
+    #[test]
+    fn estimator_kinds_round_trip() {
+        for e in EstimatorKind::ALL {
+            let t = Template::mean_over(&[]).with_estimator(e);
+            let b = encode_template(&t);
+            assert_eq!(decode_template(&b).estimator, e);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_ragged_chromosomes() {
+        decode(&[true; BITS_PER_TEMPLATE + 1]);
+    }
+}

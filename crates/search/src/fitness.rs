@@ -1,0 +1,128 @@
+//! Fitness evaluation: how well a template set predicts run times over a
+//! recorded prediction workload.
+
+use qpredict_predict::{ErrorStats, RunTimePredictor, SmithPredictor, TemplateSet};
+use qpredict_workload::Workload;
+
+use crate::workloads::{PredEvent, PredictionWorkload};
+
+/// Replay `pw` through a fresh [`SmithPredictor`] built on `set` and
+/// return the prediction-error statistics. Lower mean absolute error is
+/// better; this is the raw error `E` the GA's fitness scaling consumes.
+pub fn evaluate(set: &TemplateSet, wl: &Workload, pw: &PredictionWorkload) -> ErrorStats {
+    let mut predictor = SmithPredictor::new(set.clone());
+    let mut stats = ErrorStats::new();
+    for ev in &pw.events {
+        match *ev {
+            PredEvent::Predict { job, elapsed } => {
+                let j = wl.job(job);
+                let pred = predictor.predict(j, elapsed);
+                stats.record(pred.estimate, j.runtime);
+            }
+            PredEvent::Insert { job } => predictor.on_complete(wl.job(job)),
+        }
+    }
+    stats
+}
+
+/// Evaluate many template sets in parallel over the same workload,
+/// returning errors in input order. Uses scoped threads with a shared
+/// work queue (the sets differ wildly in cost, so static partitioning
+/// would straggle).
+pub fn evaluate_many(
+    sets: &[TemplateSet],
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    threads: usize,
+) -> Vec<ErrorStats> {
+    let threads = threads.max(1).min(sets.len().max(1));
+    if threads <= 1 || sets.len() <= 1 {
+        return sets.iter().map(|s| evaluate(s, wl, pw)).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<parking_lot::Mutex<Option<ErrorStats>>> =
+        (0..sets.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= sets.len() {
+                    break;
+                }
+                let stats = evaluate(&sets[i], wl, pw);
+                *results[i].lock() = Some(stats);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Target;
+    use qpredict_predict::Template;
+    use qpredict_sim::Algorithm;
+    use qpredict_workload::synthetic::toy;
+    use qpredict_workload::Characteristic;
+
+    fn setup() -> (Workload, PredictionWorkload) {
+        let wl = toy(250, 32, 11);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 3);
+        (wl, pw)
+    }
+
+    #[test]
+    fn informative_templates_beat_uninformative() {
+        let (wl, pw) = setup();
+        let informative = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User, Characteristic::Executable,
+                                  Characteristic::Arguments]),
+            Template::mean_over(&[Characteristic::User, Characteristic::Executable]),
+            Template::mean_over(&[Characteristic::User]),
+        ]);
+        let uninformative = TemplateSet::new(vec![Template::mean_over(&[])]);
+        let ei = evaluate(&informative, &wl, &pw);
+        let eu = evaluate(&uninformative, &wl, &pw);
+        assert!(
+            ei.mean_abs_error_min() < eu.mean_abs_error_min(),
+            "informative {:.2} vs global {:.2}",
+            ei.mean_abs_error_min(),
+            eu.mean_abs_error_min()
+        );
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let (wl, pw) = setup();
+        let set = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
+        assert_eq!(evaluate(&set, &wl, &pw), evaluate(&set, &wl, &pw));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (wl, pw) = setup();
+        let sets: Vec<TemplateSet> = vec![
+            TemplateSet::new(vec![Template::mean_over(&[])]),
+            TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]),
+            TemplateSet::new(vec![
+                Template::mean_over(&[Characteristic::User]).with_node_range(2)
+            ]),
+            TemplateSet::new(vec![Template::mean_over(&[Characteristic::Executable])]),
+        ];
+        let serial: Vec<_> = sets.iter().map(|s| evaluate(s, &wl, &pw)).collect();
+        let parallel = evaluate_many(&sets, &wl, &pw, 4);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn every_prediction_counted() {
+        let (wl, pw) = setup();
+        let set = TemplateSet::new(vec![Template::mean_over(&[])]);
+        let stats = evaluate(&set, &wl, &pw);
+        assert_eq!(stats.count(), pw.n_predictions as u64);
+    }
+}

@@ -1,0 +1,357 @@
+//! The genetic algorithm over template sets (Section 2.1).
+//!
+//! Faithful to the paper's description:
+//!
+//! * individuals are template sets of 1–10 templates, encoded as bit
+//!   strings ([`crate::encoding`]);
+//! * fitness scaling: `F = F_min + (E_max - E)/(E_max - E_min) x
+//!   (F_max - F_min)` with `F_max = 4 F_min`, keeping selection pressure
+//!   bounded whatever the error spread;
+//! * parents are chosen by *stochastic sampling with replacement*
+//!   (roulette wheel);
+//! * crossover splices at a random bit position inside a random template
+//!   of each parent, subject to the 10-template cap;
+//! * every child bit mutates with probability 0.01;
+//! * the best two individuals survive to the next generation unmutated
+//!   (elitism).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qpredict_predict::TemplateSet;
+use qpredict_workload::Workload;
+
+use crate::encoding::{decode, encode, Chromosome, BITS_PER_TEMPLATE};
+use crate::fitness::evaluate_many;
+use crate::workloads::PredictionWorkload;
+
+/// Tunables for [`search`].
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Generations to run (the paper's stopping condition is a fixed
+    /// generation count).
+    pub generations: usize,
+    /// Per-bit mutation probability.
+    pub mutation_rate: f64,
+    /// Minimum scaled fitness; the maximum is `4 x` this, per the paper.
+    pub f_min: f64,
+    /// Individuals preserved unmutated each generation.
+    pub elitism: usize,
+    /// Worker threads for fitness evaluation.
+    pub threads: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Template sets injected into the initial population (warm start),
+    /// e.g. [`TemplateSet::default_for`]. The rest is random.
+    pub seeds: Vec<TemplateSet>,
+}
+
+impl Default for GaConfig {
+    fn default() -> GaConfig {
+        GaConfig {
+            population: 32,
+            generations: 25,
+            mutation_rate: 0.01,
+            f_min: 1.0,
+            elitism: 2,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            seed: 0xCA15_7EAD,
+            seeds: Vec::new(),
+        }
+    }
+}
+
+impl GaConfig {
+    /// A tiny configuration for tests and smoke runs.
+    pub fn quick(seed: u64) -> GaConfig {
+        GaConfig {
+            population: 10,
+            generations: 4,
+            seed,
+            ..GaConfig::default()
+        }
+    }
+}
+
+/// Outcome of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Best template set found across all generations.
+    pub best: TemplateSet,
+    /// Its mean absolute run-time prediction error, minutes.
+    pub best_error_min: f64,
+    /// Best error per generation (for convergence plots/ablation).
+    pub error_history: Vec<f64>,
+    /// Total fitness evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Run the genetic search for a good template set over `pw`.
+pub fn search(wl: &Workload, pw: &PredictionWorkload, cfg: &GaConfig) -> GaResult {
+    assert!(cfg.population >= 4, "population too small");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut population: Vec<Chromosome> = cfg.seeds.iter().map(encode).collect();
+    population.truncate(cfg.population);
+    while population.len() < cfg.population {
+        population.push(random_chromosome(&mut rng));
+    }
+
+    let mut best: Option<(f64, Chromosome)> = None;
+    let mut error_history = Vec::with_capacity(cfg.generations);
+    let mut evaluations = 0;
+
+    for _gen in 0..cfg.generations {
+        let sets: Vec<TemplateSet> = population.iter().map(|c| decode(c)).collect();
+        let errors: Vec<f64> = evaluate_many(&sets, wl, pw, cfg.threads)
+            .iter()
+            .map(|s| s.mean_abs_error_min())
+            .collect();
+        evaluations += sets.len();
+
+        // Track the all-time best.
+        for (c, &e) in population.iter().zip(&errors) {
+            if best.as_ref().is_none_or(|(be, _)| e < *be) {
+                best = Some((e, c.clone()));
+            }
+        }
+        error_history.push(best.as_ref().expect("non-empty population").0);
+
+        // Fitness scaling (paper formula).
+        let e_min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let e_max = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let f_max = 4.0 * cfg.f_min;
+        let fitness: Vec<f64> = errors
+            .iter()
+            .map(|&e| {
+                if (e_max - e_min).abs() < 1e-12 {
+                    cfg.f_min
+                } else {
+                    cfg.f_min + (e_max - e) / (e_max - e_min) * (f_max - cfg.f_min)
+                }
+            })
+            .collect();
+
+        // Elites: the best `elitism` individuals of this generation.
+        let mut ranked: Vec<usize> = (0..population.len()).collect();
+        ranked.sort_by(|&a, &b| errors[a].partial_cmp(&errors[b]).expect("finite"));
+        let elites: Vec<Chromosome> = ranked
+            .iter()
+            .take(cfg.elitism.min(population.len()))
+            .map(|&i| population[i].clone())
+            .collect();
+
+        // Offspring by roulette selection + crossover + mutation.
+        let mut next: Vec<Chromosome> = Vec::with_capacity(cfg.population);
+        while next.len() + elites.len() < cfg.population {
+            let p1 = &population[roulette(&fitness, &mut rng)];
+            let p2 = &population[roulette(&fitness, &mut rng)];
+            let (mut c1, mut c2) = crossover(p1, p2, &mut rng);
+            mutate(&mut c1, cfg.mutation_rate, &mut rng);
+            mutate(&mut c2, cfg.mutation_rate, &mut rng);
+            next.push(c1);
+            if next.len() + elites.len() < cfg.population {
+                next.push(c2);
+            }
+        }
+        next.extend(elites);
+        population = next;
+    }
+
+    let (best_error_min, best_bits) = best.expect("at least one generation ran");
+    GaResult {
+        best: decode(&best_bits),
+        best_error_min,
+        error_history,
+        evaluations,
+    }
+}
+
+/// A random chromosome of 1–4 templates with characteristic bits set
+/// sparsely (dense masks rarely match anything and make the initial
+/// population uniformly useless).
+fn random_chromosome(rng: &mut StdRng) -> Chromosome {
+    let k = rng.gen_range(1..=4);
+    let mut bits = Vec::with_capacity(k * BITS_PER_TEMPLATE);
+    for _ in 0..k {
+        for pos in 0..BITS_PER_TEMPLATE {
+            let p = match pos {
+                0 | 1 => 0.15,      // estimator bits: mostly mean
+                2 => 0.3,           // relative
+                3 => 0.2,           // rtime
+                4..=11 => 0.3,      // characteristic enables
+                12 => 0.5,          // node enable
+                17 => 0.3,          // history enable
+                _ => 0.5,           // exponent bits
+            };
+            bits.push(rng.gen::<f64>() < p);
+        }
+    }
+    bits
+}
+
+/// Roulette-wheel selection: pick index `i` with probability
+/// `F_i / sum(F)`.
+fn roulette(fitness: &[f64], rng: &mut StdRng) -> usize {
+    let total: f64 = fitness.iter().sum();
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &f) in fitness.iter().enumerate() {
+        x -= f;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    fitness.len() - 1
+}
+
+/// The paper's variable-length crossover: pick template `i` and bit
+/// position `p` in the first parent and template `j` in the second, so
+/// that the spliced children stay within 10 templates.
+fn crossover(p1: &Chromosome, p2: &Chromosome, rng: &mut StdRng) -> (Chromosome, Chromosome) {
+    let n = p1.len() / BITS_PER_TEMPLATE;
+    let m = p2.len() / BITS_PER_TEMPLATE;
+    // child1 = t1[..i] + splice + t2[j+1..], len = i + (m - j)
+    // child2 = t2[..j] + splice + t1[i+1..], len = j + (n - i)
+    for _ in 0..64 {
+        let i = rng.gen_range(0..n);
+        let j = rng.gen_range(0..m);
+        if i + (m - j) > 10 || j + (n - i) > 10 {
+            continue;
+        }
+        let p = rng.gen_range(0..BITS_PER_TEMPLATE);
+        let t1 = &p1[i * BITS_PER_TEMPLATE..(i + 1) * BITS_PER_TEMPLATE];
+        let t2 = &p2[j * BITS_PER_TEMPLATE..(j + 1) * BITS_PER_TEMPLATE];
+        let mut s1: Vec<bool> = t1[..p].to_vec();
+        s1.extend_from_slice(&t2[p..]);
+        let mut s2: Vec<bool> = t2[..p].to_vec();
+        s2.extend_from_slice(&t1[p..]);
+        let mut c1: Chromosome = p1[..i * BITS_PER_TEMPLATE].to_vec();
+        c1.extend_from_slice(&s1);
+        c1.extend_from_slice(&p2[(j + 1) * BITS_PER_TEMPLATE..]);
+        let mut c2: Chromosome = p2[..j * BITS_PER_TEMPLATE].to_vec();
+        c2.extend_from_slice(&s2);
+        c2.extend_from_slice(&p1[(i + 1) * BITS_PER_TEMPLATE..]);
+        debug_assert!(c1.len().is_multiple_of(BITS_PER_TEMPLATE) && !c1.is_empty());
+        debug_assert!(c2.len().is_multiple_of(BITS_PER_TEMPLATE) && !c2.is_empty());
+        return (c1, c2);
+    }
+    // Pathological sizes: fall back to cloning the parents.
+    (p1.clone(), p2.clone())
+}
+
+fn mutate(c: &mut Chromosome, rate: f64, rng: &mut StdRng) {
+    for b in c.iter_mut() {
+        if rng.gen::<f64>() < rate {
+            *b = !*b;
+        }
+    }
+}
+
+/// Encode a seed template set into an initial population member (used by
+/// callers that want to warm-start the search from
+/// [`TemplateSet::default_for`]).
+pub fn seeded_population(
+    seeds: &[TemplateSet],
+    size: usize,
+    rng_seed: u64,
+) -> Vec<Chromosome> {
+    let mut rng = StdRng::seed_from_u64(rng_seed);
+    let mut pop: Vec<Chromosome> = seeds.iter().map(encode).collect();
+    while pop.len() < size {
+        pop.push(random_chromosome(&mut rng));
+    }
+    pop.truncate(size);
+    pop
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::Target;
+    use qpredict_sim::Algorithm;
+    use qpredict_workload::synthetic::toy;
+
+    #[test]
+    fn crossover_respects_template_cap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let n = rng.gen_range(1..=10usize);
+            let m = rng.gen_range(1..=10usize);
+            let p1: Chromosome = (0..n * BITS_PER_TEMPLATE).map(|_| rng.gen()).collect();
+            let p2: Chromosome = (0..m * BITS_PER_TEMPLATE).map(|_| rng.gen()).collect();
+            let (c1, c2) = crossover(&p1, &p2, &mut rng);
+            assert!(c1.len() / BITS_PER_TEMPLATE >= 1);
+            assert!(c1.len() / BITS_PER_TEMPLATE <= 10);
+            assert!(c2.len() / BITS_PER_TEMPLATE >= 1);
+            assert!(c2.len() / BITS_PER_TEMPLATE <= 10);
+        }
+    }
+
+    #[test]
+    fn roulette_prefers_fitter() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fitness = [1.0, 4.0];
+        let mut counts = [0usize; 2];
+        for _ in 0..5000 {
+            counts[roulette(&fitness, &mut rng)] += 1;
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!((ratio - 4.0).abs() < 0.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn mutation_rate_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut c: Chromosome = (0..44).map(|_| rng.gen()).collect();
+        let before = c.clone();
+        mutate(&mut c, 0.0, &mut rng);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn ga_improves_over_random_start() {
+        let wl = toy(250, 32, 12);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig {
+            population: 12,
+            generations: 6,
+            threads: 2,
+            seed: 99,
+            ..GaConfig::default()
+        };
+        let result = search(&wl, &pw, &cfg);
+        assert_eq!(result.error_history.len(), 6);
+        // The running best is monotone non-increasing.
+        for w in result.error_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert!(result.evaluations >= 72);
+        assert!(result.best_error_min.is_finite());
+        assert!(!result.best.is_empty() && result.best.len() <= 10);
+    }
+
+    #[test]
+    fn ga_is_deterministic_given_seed() {
+        let wl = toy(150, 32, 13);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig::quick(7);
+        let a = search(&wl, &pw, &cfg);
+        let b = search(&wl, &pw, &cfg);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.error_history, b.error_history);
+    }
+
+    #[test]
+    fn seeded_population_contains_seeds() {
+        let seed_set = qpredict_predict::TemplateSet::default_for(
+            &[qpredict_workload::Characteristic::User],
+            false,
+        );
+        let pop = seeded_population(std::slice::from_ref(&seed_set), 8, 1);
+        assert_eq!(pop.len(), 8);
+        assert_eq!(decode(&pop[0]), seed_set);
+    }
+}

@@ -1,0 +1,158 @@
+//! The estimator interface the engine consults, plus simple built-in
+//! estimators.
+//!
+//! The full predictor suite (template-based, Gibbons, Downey) lives in
+//! `qpredict-predict` and is adapted onto [`RuntimeEstimator`] by
+//! `qpredict-core`; the estimators here are the ones the simulator itself
+//! needs for baselines and tests.
+
+use std::collections::HashMap;
+
+use qpredict_workload::{Characteristic, Dur, Job, Sym, Time, Workload};
+
+/// Supplies run-time estimates to the scheduling algorithms and observes
+/// job lifecycle events so that learning predictors can accumulate
+/// history.
+pub trait RuntimeEstimator {
+    /// Estimate the **total** run time of `job`, which has been running
+    /// for `elapsed` (zero for queued jobs). Implementations must return
+    /// a positive duration, at least `elapsed + 1` for running jobs.
+    fn estimate(&mut self, job: &Job, now: Time, elapsed: Dur) -> Dur;
+
+    /// Called when a job begins execution.
+    fn on_start(&mut self, _job: &Job, _now: Time) {}
+
+    /// Called when a job completes; learning estimators insert history
+    /// here (the paper inserts data points at completion time).
+    fn on_complete(&mut self, _job: &Job, _now: Time) {}
+}
+
+/// The oracle: estimates are the actual run times. Gives the paper's
+/// upper-bound rows (Tables 4 and 10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ActualEstimator;
+
+impl RuntimeEstimator for ActualEstimator {
+    fn estimate(&mut self, job: &Job, _now: Time, _elapsed: Dur) -> Dur {
+        job.runtime
+    }
+}
+
+/// Estimates every job at a fixed duration; useful in tests and as a
+/// degenerate baseline.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantEstimator(pub Dur);
+
+impl RuntimeEstimator for ConstantEstimator {
+    fn estimate(&mut self, _job: &Job, _now: Time, elapsed: Dur) -> Dur {
+        self.0.max(elapsed + Dur::SECOND)
+    }
+}
+
+/// EASY-style estimates: the user-supplied maximum run time. For
+/// workloads without recorded limits (the SDSC traces), per-queue maxima
+/// are derived from the trace, exactly as the paper does: the longest
+/// running job in each queue becomes the maximum for that queue.
+#[derive(Debug, Clone)]
+pub struct MaxRuntimeEstimator {
+    queue_max: HashMap<Option<Sym>, Dur>,
+    global_max: Dur,
+}
+
+impl MaxRuntimeEstimator {
+    /// Build from a workload, deriving per-queue maxima for jobs without
+    /// explicit limits.
+    pub fn from_workload(w: &Workload) -> MaxRuntimeEstimator {
+        let queue_max = w.derive_queue_max_runtimes();
+        let global_max = queue_max.get(&None).copied().unwrap_or(Dur::HOUR);
+        MaxRuntimeEstimator {
+            queue_max,
+            global_max,
+        }
+    }
+
+    /// The estimate used for `job` before clamping by elapsed time.
+    pub fn limit_for(&self, job: &Job) -> Dur {
+        if let Some(m) = job.max_runtime {
+            return m;
+        }
+        let q = job.characteristic(Characteristic::Queue);
+        self.queue_max
+            .get(&q)
+            .copied()
+            .unwrap_or(self.global_max)
+    }
+}
+
+impl RuntimeEstimator for MaxRuntimeEstimator {
+    fn estimate(&mut self, job: &Job, _now: Time, elapsed: Dur) -> Dur {
+        self.limit_for(job).max(elapsed + Dur::SECOND)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qpredict_workload::{JobBuilder, JobId};
+
+    #[test]
+    fn actual_returns_runtime() {
+        let j = JobBuilder::new().runtime(Dur(123)).build(JobId(0));
+        assert_eq!(ActualEstimator.estimate(&j, Time(0), Dur::ZERO), Dur(123));
+    }
+
+    #[test]
+    fn constant_clamps_to_elapsed() {
+        let j = JobBuilder::new().build(JobId(0));
+        let mut e = ConstantEstimator(Dur(100));
+        assert_eq!(e.estimate(&j, Time(0), Dur::ZERO), Dur(100));
+        assert_eq!(e.estimate(&j, Time(0), Dur(500)), Dur(501));
+    }
+
+    #[test]
+    fn maxrt_uses_explicit_limit() {
+        let mut w = Workload::new("t", 8);
+        w.jobs = vec![JobBuilder::new()
+            .runtime(Dur(50))
+            .max_runtime(Dur(600))
+            .build(JobId(0))];
+        w.finalize();
+        let mut e = MaxRuntimeEstimator::from_workload(&w);
+        assert_eq!(e.estimate(&w.jobs[0], Time(0), Dur::ZERO), Dur(600));
+    }
+
+    #[test]
+    fn maxrt_derives_queue_maxima() {
+        let mut w = Workload::new("t", 8);
+        let q = w.symbols.intern("q16s");
+        w.jobs = vec![
+            JobBuilder::new()
+                .with(Characteristic::Queue, q)
+                .runtime(Dur(300))
+                .build(JobId(0)),
+            JobBuilder::new()
+                .with(Characteristic::Queue, q)
+                .runtime(Dur(100))
+                .submit(Time(1))
+                .build(JobId(1)),
+        ];
+        w.finalize();
+        let mut e = MaxRuntimeEstimator::from_workload(&w);
+        // Both jobs in queue q estimate at the queue's longest runtime.
+        assert_eq!(e.estimate(&w.jobs[1], Time(0), Dur::ZERO), Dur(300));
+    }
+
+    #[test]
+    fn maxrt_running_job_exceeding_limit() {
+        let mut w = Workload::new("t", 8);
+        w.jobs = vec![JobBuilder::new()
+            .runtime(Dur(50))
+            .max_runtime(Dur(60))
+            .build(JobId(0))];
+        w.finalize();
+        let mut e = MaxRuntimeEstimator::from_workload(&w);
+        // Job has run 100 s, past its 60 s limit: estimate must stay ahead
+        // of reality.
+        assert_eq!(e.estimate(&w.jobs[0], Time(0), Dur(100)), Dur(101));
+    }
+}

@@ -1,0 +1,294 @@
+//! Node-availability profile for conservative backfill.
+//!
+//! A [`Profile`] tracks how many nodes are free as a function of time,
+//! given the (predicted) completion times of running jobs and the
+//! reservations already granted to queued jobs. It answers the two
+//! questions backfill asks: *what is the earliest time a `(nodes, dur)`
+//! request fits?* and *commit that reservation*.
+
+use qpredict_workload::{Dur, Time};
+
+/// One step of the piecewise-constant free-node function: `free` nodes are
+/// available from `start` until the next segment's start (the last segment
+/// extends to infinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Segment {
+    start: Time,
+    free: u32,
+}
+
+/// Piecewise-constant free-node capacity over `[now, infinity)`.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    machine_nodes: u32,
+    segments: Vec<Segment>,
+}
+
+impl Profile {
+    /// Build a profile for a machine with `machine_nodes` nodes, where
+    /// `running` lists `(nodes, predicted_end)` for each currently running
+    /// job. Predicted ends at or before `now` are treated as `now + 1 s`
+    /// (the job is demonstrably still running).
+    pub fn new(machine_nodes: u32, now: Time, running: &[(u32, Time)]) -> Profile {
+        let mut events: Vec<(Time, u32)> = running
+            .iter()
+            .map(|&(nodes, end)| (end.max(now + Dur::SECOND), nodes))
+            .collect();
+        events.sort_unstable_by_key(|&(t, _)| t);
+        let used_now: u64 = running.iter().map(|&(n, _)| n as u64).sum();
+        debug_assert!(
+            used_now <= machine_nodes as u64,
+            "running jobs use {used_now} of {machine_nodes} nodes"
+        );
+        let mut segments = Vec::with_capacity(events.len() + 1);
+        let mut free = machine_nodes.saturating_sub(used_now as u32);
+        segments.push(Segment { start: now, free });
+        for (t, nodes) in events {
+            free += nodes;
+            match segments.last_mut() {
+                Some(s) if s.start == t => s.free = free,
+                _ => segments.push(Segment { start: t, free }),
+            }
+        }
+        Profile {
+            machine_nodes,
+            segments,
+        }
+    }
+
+    /// The machine size this profile covers.
+    pub fn machine_nodes(&self) -> u32 {
+        self.machine_nodes
+    }
+
+    /// Free nodes at instant `t` (which must be at or after the profile's
+    /// start).
+    pub fn free_at(&self, t: Time) -> u32 {
+        match self.segments.binary_search_by_key(&t, |s| s.start) {
+            Ok(i) => self.segments[i].free,
+            Err(0) => self.segments[0].free, // before start: clamp
+            Err(i) => self.segments[i - 1].free,
+        }
+    }
+
+    /// Earliest time `t` at or after the profile start such that at least
+    /// `nodes` nodes are free throughout `[t, t + dur)`.
+    ///
+    /// Always succeeds for `nodes <= machine_nodes`, because the final
+    /// segment has every reserved job finished eventually.
+    ///
+    /// # Panics
+    /// Panics if `nodes` exceeds the machine size or `dur` is not
+    /// positive.
+    pub fn earliest_fit(&self, nodes: u32, dur: Dur) -> Time {
+        assert!(
+            nodes <= self.machine_nodes,
+            "request for {nodes} nodes exceeds machine of {}",
+            self.machine_nodes
+        );
+        assert!(dur.is_positive(), "duration must be positive");
+        let n = self.segments.len();
+        let mut i = 0;
+        while i < n {
+            if self.segments[i].free < nodes {
+                i += 1;
+                continue;
+            }
+            // Candidate anchor: this segment's start. Check the window.
+            let anchor = self.segments[i].start;
+            let end = anchor + dur;
+            let mut ok = true;
+            let mut j = i;
+            while j < n && self.segments[j].start < end {
+                if self.segments[j].free < nodes {
+                    ok = false;
+                    // Restart the scan after the blocking segment.
+                    i = j;
+                    break;
+                }
+                j += 1;
+            }
+            if ok {
+                return anchor;
+            }
+            i += 1;
+        }
+        // The last segment always has full capacity free in a well-formed
+        // profile (every job ends); fall back to its start.
+        self.segments[n - 1].start
+    }
+
+    /// Subtract `nodes` from the free capacity over `[t, t + dur)`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the reservation oversubscribes any
+    /// affected segment — callers must only reserve windows returned by
+    /// [`Profile::earliest_fit`].
+    pub fn reserve(&mut self, t: Time, dur: Dur, nodes: u32) {
+        assert!(dur.is_positive(), "duration must be positive");
+        let end = t + dur;
+        self.split_at(t);
+        self.split_at(end);
+        for s in &mut self.segments {
+            if s.start >= t && s.start < end {
+                debug_assert!(
+                    s.free >= nodes,
+                    "reservation of {nodes} nodes oversubscribes segment with {} free",
+                    s.free
+                );
+                s.free = s.free.saturating_sub(nodes);
+            }
+        }
+    }
+
+    /// Ensure a segment boundary exists at `t` (no-op if `t` precedes the
+    /// profile start or a boundary already exists).
+    fn split_at(&mut self, t: Time) {
+        match self.segments.binary_search_by_key(&t, |s| s.start) {
+            Ok(_) => {}
+            Err(0) => {}
+            Err(i) => {
+                let free = self.segments[i - 1].free;
+                self.segments.insert(i, Segment { start: t, free });
+            }
+        }
+    }
+
+    /// Number of segments (for tests and diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Verify internal invariants: segments strictly ordered, frees within
+    /// the machine size. Returns the first violation.
+    pub fn check(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err("profile has no segments".into());
+        }
+        for w in self.segments.windows(2) {
+            if w[0].start >= w[1].start {
+                return Err(format!(
+                    "segments out of order: {:?} then {:?}",
+                    w[0].start, w[1].start
+                ));
+            }
+        }
+        for s in &self.segments {
+            if s.free > self.machine_nodes {
+                return Err(format!(
+                    "segment at {:?} has {} free on a {}-node machine",
+                    s.start, s.free, self.machine_nodes
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: i64) -> Time {
+        Time(s)
+    }
+
+    #[test]
+    fn empty_machine_is_fully_free() {
+        let p = Profile::new(64, t(0), &[]);
+        assert_eq!(p.free_at(t(0)), 64);
+        assert_eq!(p.free_at(t(1_000_000)), 64);
+        assert_eq!(p.earliest_fit(64, Dur(100)), t(0));
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn running_jobs_occupy_until_pred_end() {
+        let p = Profile::new(10, t(0), &[(4, t(100)), (3, t(50))]);
+        assert_eq!(p.free_at(t(0)), 3);
+        assert_eq!(p.free_at(t(49)), 3);
+        assert_eq!(p.free_at(t(50)), 6);
+        assert_eq!(p.free_at(t(100)), 10);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn late_pred_end_clamped_to_future() {
+        // A running job whose predicted end has already passed still holds
+        // its nodes for one more second.
+        let p = Profile::new(10, t(100), &[(4, t(50))]);
+        assert_eq!(p.free_at(t(100)), 6);
+        assert_eq!(p.free_at(t(101)), 10);
+    }
+
+    #[test]
+    fn earliest_fit_waits_for_capacity() {
+        let p = Profile::new(10, t(0), &[(8, t(100))]);
+        // 2 nodes fit immediately; 5 must wait for the running job.
+        assert_eq!(p.earliest_fit(2, Dur(50)), t(0));
+        assert_eq!(p.earliest_fit(5, Dur(50)), t(100));
+    }
+
+    #[test]
+    fn earliest_fit_requires_window_not_instant() {
+        let mut p = Profile::new(10, t(0), &[]);
+        // Block [50, 150) with 9 nodes: 5-node jobs cannot overlap it.
+        p.reserve(t(50), Dur(100), 9);
+        // A 5-node 40s job fits at 0 (window [0,40) clear).
+        assert_eq!(p.earliest_fit(5, Dur(40)), t(0));
+        // A 5-node 60s job would overlap the blocked window; it must wait
+        // until 150.
+        assert_eq!(p.earliest_fit(5, Dur(60)), t(150));
+    }
+
+    #[test]
+    fn reserve_subtracts_and_restores() {
+        let mut p = Profile::new(10, t(0), &[]);
+        p.reserve(t(20), Dur(30), 7);
+        assert_eq!(p.free_at(t(19)), 10);
+        assert_eq!(p.free_at(t(20)), 3);
+        assert_eq!(p.free_at(t(49)), 3);
+        assert_eq!(p.free_at(t(50)), 10);
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn stacked_reservations() {
+        let mut p = Profile::new(10, t(0), &[]);
+        p.reserve(t(0), Dur(100), 4);
+        p.reserve(t(50), Dur(100), 4);
+        assert_eq!(p.free_at(t(0)), 6);
+        assert_eq!(p.free_at(t(50)), 2);
+        assert_eq!(p.free_at(t(100)), 6);
+        assert_eq!(p.free_at(t(150)), 10);
+        // 5 nodes for 10s fit at 0 (6 free until 50); 5 nodes for 60s
+        // would overlap [50,100) where only 2 are free, so they wait
+        // until 100.
+        assert_eq!(p.earliest_fit(5, Dur(10)), t(0));
+        assert_eq!(p.earliest_fit(5, Dur(60)), t(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine")]
+    fn oversized_request_panics() {
+        Profile::new(10, t(0), &[]).earliest_fit(11, Dur(1));
+    }
+
+    #[test]
+    fn fit_then_reserve_never_oversubscribes() {
+        // Randomized smoke: every reservation placed at earliest_fit keeps
+        // the profile valid.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for _ in 0..50 {
+            let mut p = Profile::new(32, t(0), &[(10, t(40)), (6, t(90))]);
+            for _ in 0..40 {
+                let nodes = rng.gen_range(1..=32);
+                let dur = Dur(rng.gen_range(1..=200));
+                let at = p.earliest_fit(nodes, dur);
+                p.reserve(at, dur, nodes);
+                p.check().unwrap();
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Shared helpers for the crate's integration/property tests.
+//!
+//! Kept inside the library (behind `cfg(feature = ...)`-free plain code)
+//! so both unit and integration tests can build consistent inputs.
+
+use qpredict_workload::{Dur, JobBuilder, JobId, Time, Workload};
+
+/// Build a workload on a machine of `machine_nodes` nodes from
+/// `(submit, nodes, runtime)` triples; node counts are clamped to the
+/// machine.
+pub fn workload_from_triples(machine_nodes: u32, jobs: &[(i64, u32, i64)]) -> Workload {
+    let mut w = Workload::new("test", machine_nodes);
+    w.jobs = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, &(s, n, r))| {
+            JobBuilder::new()
+                .submit(Time(s.max(0)))
+                .nodes(n.clamp(1, machine_nodes))
+                .runtime(Dur(r.max(1)))
+                .build(JobId(i as u32))
+        })
+        .collect();
+    w.finalize();
+    w
+}

@@ -1,0 +1,244 @@
+//! Schedule timelines: turn a completed simulation into an inspectable
+//! occupancy record.
+//!
+//! A [`Timeline`] holds the `(start, finish, nodes)` interval of every
+//! job plus the machine's piecewise-constant node occupancy. It backs
+//! schedule validation (no instant may exceed the machine), fragmentation
+//! diagnostics, and CSV export for external plotting.
+
+use qpredict_workload::{JobId, Time, Workload};
+
+use crate::metrics::JobOutcome;
+
+/// Node occupancy over time for one completed schedule.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    machine_nodes: u32,
+    /// `(instant, nodes_in_use_from_here)` breakpoints, time-ordered.
+    steps: Vec<(Time, u32)>,
+    /// Job intervals in job-id order: `(id, start, finish, nodes)`.
+    jobs: Vec<(JobId, Time, Time, u32)>,
+}
+
+impl Timeline {
+    /// Build the timeline of a completed schedule.
+    pub fn build(w: &Workload, outcomes: &[JobOutcome]) -> Timeline {
+        let mut events: Vec<(Time, i64)> = Vec::with_capacity(outcomes.len() * 2);
+        let mut jobs = Vec::with_capacity(outcomes.len());
+        for o in outcomes {
+            let nodes = w.job(o.id).nodes;
+            jobs.push((o.id, o.start, o.finish, nodes));
+            events.push((o.start, nodes as i64));
+            events.push((o.finish, -(nodes as i64)));
+        }
+        // Process departures before arrivals at equal instants.
+        events.sort_by_key(|&(t, d)| (t, d));
+        let mut steps: Vec<(Time, u32)> = Vec::new();
+        let mut used = 0i64;
+        for (t, d) in events {
+            used += d;
+            debug_assert!(used >= 0);
+            match steps.last_mut() {
+                Some((lt, lu)) if *lt == t => *lu = used as u32,
+                _ => steps.push((t, used as u32)),
+            }
+        }
+        Timeline {
+            machine_nodes: w.machine_nodes,
+            steps,
+            jobs,
+        }
+    }
+
+    /// Nodes in use at instant `t` (0 before the first event).
+    pub fn used_at(&self, t: Time) -> u32 {
+        match self.steps.binary_search_by_key(&t, |&(st, _)| st) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => 0,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// The highest occupancy reached.
+    pub fn peak(&self) -> u32 {
+        self.steps.iter().map(|&(_, u)| u).max().unwrap_or(0)
+    }
+
+    /// True when occupancy never exceeds the machine size (the schedule
+    /// is feasible).
+    pub fn is_feasible(&self) -> bool {
+        self.peak() <= self.machine_nodes
+    }
+
+    /// Total idle node-seconds over `[from, to)` — the fragmentation a
+    /// better packing could in principle recover.
+    pub fn idle_node_seconds(&self, from: Time, to: Time) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        let mut idle = 0.0;
+        let mut cursor = from;
+        let mut used = self.used_at(from);
+        for &(t, u) in self.steps.iter().filter(|&&(t, _)| t > from && t < to) {
+            idle += (self.machine_nodes.saturating_sub(used)) as f64
+                * (t - cursor).as_secs_f64();
+            cursor = t;
+            used = u;
+        }
+        idle += (self.machine_nodes.saturating_sub(used)) as f64 * (to - cursor).as_secs_f64();
+        idle
+    }
+
+    /// Mean occupancy (nodes) over `[from, to)`.
+    pub fn mean_occupancy(&self, from: Time, to: Time) -> f64 {
+        let span = (to - from).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        let idle = self.idle_node_seconds(from, to);
+        self.machine_nodes as f64 - idle / span
+    }
+
+    /// Export the job intervals as CSV (`job,start,finish,nodes`), for
+    /// Gantt plotting with external tools.
+    pub fn jobs_csv(&self) -> String {
+        let mut out = String::with_capacity(self.jobs.len() * 24 + 32);
+        out.push_str("job,start,finish,nodes\n");
+        for &(id, s, f, n) in &self.jobs {
+            out.push_str(&format!("{},{},{},{}\n", id.0, s.seconds(), f.seconds(), n));
+        }
+        out
+    }
+
+    /// Export the occupancy steps as CSV (`time,nodes_in_use`).
+    pub fn occupancy_csv(&self) -> String {
+        let mut out = String::with_capacity(self.steps.len() * 16 + 24);
+        out.push_str("time,nodes_in_use\n");
+        for &(t, u) in &self.steps {
+            out.push_str(&format!("{},{}\n", t.seconds(), u));
+        }
+        out
+    }
+
+    /// Number of occupancy breakpoints.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+/// Convenience: simulate and return the timeline in one call.
+pub fn timeline_of(
+    w: &Workload,
+    alg: crate::scheduler::Algorithm,
+    est: &mut dyn crate::estimators::RuntimeEstimator,
+) -> (Timeline, crate::engine::SimResult) {
+    let result = crate::engine::Simulation::run(w, alg, est);
+    (Timeline::build(w, &result.outcomes), result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::estimators::ActualEstimator;
+    use crate::scheduler::Algorithm;
+    use qpredict_workload::{synthetic, Dur, JobBuilder};
+
+    fn outcome(id: u32, s: i64, f: i64) -> JobOutcome {
+        JobOutcome {
+            id: JobId(id),
+            submit: Time(s),
+            start: Time(s),
+            finish: Time(f),
+        }
+    }
+
+    fn wl(jobs: &[(u32, i64)]) -> Workload {
+        let mut w = Workload::new("t", 10);
+        w.jobs = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, &(n, rt))| {
+                JobBuilder::new()
+                    .nodes(n)
+                    .runtime(Dur(rt))
+                    .build(JobId(i as u32))
+            })
+            .collect();
+        w.finalize();
+        w
+    }
+
+    #[test]
+    fn occupancy_steps() {
+        let w = wl(&[(4, 100), (3, 50)]);
+        let t = Timeline::build(&w, &[outcome(0, 0, 100), outcome(1, 0, 50)]);
+        assert_eq!(t.used_at(Time(0)), 7);
+        assert_eq!(t.used_at(Time(49)), 7);
+        assert_eq!(t.used_at(Time(50)), 4);
+        assert_eq!(t.used_at(Time(100)), 0);
+        assert_eq!(t.peak(), 7);
+        assert!(t.is_feasible());
+    }
+
+    #[test]
+    fn idle_and_mean_occupancy() {
+        let w = wl(&[(10, 100)]);
+        let t = Timeline::build(&w, &[outcome(0, 0, 100)]);
+        // Fully busy for [0,100): zero idle.
+        assert_eq!(t.idle_node_seconds(Time(0), Time(100)), 0.0);
+        // [0, 200): 100 s of a 10-node machine idle.
+        assert_eq!(t.idle_node_seconds(Time(0), Time(200)), 1000.0);
+        assert!((t.mean_occupancy(Time(0), Time(200)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_exports() {
+        let w = wl(&[(4, 100)]);
+        let t = Timeline::build(&w, &[outcome(0, 5, 105)]);
+        let jobs = t.jobs_csv();
+        assert!(jobs.starts_with("job,start,finish,nodes\n"));
+        assert!(jobs.contains("0,5,105,4\n"));
+        let occ = t.occupancy_csv();
+        assert!(occ.contains("5,4\n"));
+        assert!(occ.contains("105,0\n"));
+    }
+
+    #[test]
+    fn real_schedules_are_feasible() {
+        let w = synthetic::toy(400, 32, 77);
+        for alg in Algorithm::ALL {
+            let r = Simulation::run(&w, alg, &mut ActualEstimator);
+            let t = Timeline::build(&w, &r.outcomes);
+            assert!(t.is_feasible(), "{alg} oversubscribed: peak {}", t.peak());
+            // Mean occupancy over the makespan must equal utilization x
+            // machine.
+            let first = r.outcomes.iter().map(|o| o.submit).min().unwrap();
+            let last = r.outcomes.iter().map(|o| o.finish).max().unwrap();
+            let occ = t.mean_occupancy(first, last);
+            let expect = r.metrics.utilization * w.machine_nodes as f64;
+            assert!(
+                (occ - expect).abs() < 0.05 * w.machine_nodes as f64,
+                "{alg}: occupancy {occ:.2} vs util-derived {expect:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn timeline_of_helper() {
+        let w = synthetic::toy(100, 16, 78);
+        let (t, r) = timeline_of(&w, Algorithm::Backfill, &mut ActualEstimator);
+        assert_eq!(r.outcomes.len(), 100);
+        assert!(t.is_feasible());
+        assert!(t.step_count() > 0);
+    }
+
+    #[test]
+    fn empty_timeline() {
+        let w = wl(&[]);
+        let t = Timeline::build(&w, &[]);
+        assert_eq!(t.peak(), 0);
+        assert!(t.is_feasible());
+        assert_eq!(t.used_at(Time(100)), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Interarrival-time compression.
+//!
+//! Section 4 of the paper tests the hypothesis that the Smith predictor
+//! helps most when scheduling is "hard" (high offered load) by compressing
+//! the interarrival times of the two SDSC workloads by a factor of two and
+//! re-running the scheduling experiments. This module implements that
+//! transform for arbitrary factors.
+
+use crate::time::Time;
+use crate::workload::Workload;
+
+/// Return a copy of `w` whose interarrival times are divided by `factor`
+/// (so `factor = 2.0` doubles the offered load). Run times, node counts,
+/// and characteristics are untouched; the first job keeps its submission
+/// time and later submissions are rescaled toward it.
+///
+/// # Panics
+/// Panics if `factor` is not finite and positive.
+pub fn compress_interarrivals(w: &Workload, factor: f64) -> Workload {
+    assert!(
+        factor.is_finite() && factor > 0.0,
+        "compression factor must be positive and finite"
+    );
+    let mut out = w.clone();
+    out.name = format!("{}/x{factor:.2}", w.name);
+    if let Some(first) = w.jobs.first() {
+        let t0 = first.submit.seconds() as f64;
+        for j in &mut out.jobs {
+            let dt = j.submit.seconds() as f64 - t0;
+            j.submit = Time((t0 + dt / factor).round() as i64);
+        }
+    }
+    out.finalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobId};
+    use crate::stats::WorkloadStats;
+    use crate::time::Dur;
+
+    fn wl() -> Workload {
+        let mut w = Workload::new("t", 16);
+        w.jobs = (0..5)
+            .map(|i| {
+                JobBuilder::new()
+                    .submit(Time(100 + 60 * i))
+                    .nodes(4)
+                    .runtime(Dur(30))
+                    .build(JobId(i as u32))
+            })
+            .collect();
+        w.finalize();
+        w
+    }
+
+    #[test]
+    fn halves_interarrivals() {
+        let w = wl();
+        let c = compress_interarrivals(&w, 2.0);
+        assert_eq!(c.jobs[0].submit, Time(100));
+        assert_eq!(c.jobs[1].submit, Time(130));
+        assert_eq!(c.jobs[4].submit, Time(220));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn doubles_offered_load() {
+        let w = wl();
+        let c = compress_interarrivals(&w, 2.0);
+        let s0 = WorkloadStats::of(&w);
+        let s1 = WorkloadStats::of(&c);
+        assert!((s1.offered_load / s0.offered_load - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let w = wl();
+        let c = compress_interarrivals(&w, 1.0);
+        for (a, b) in w.jobs.iter().zip(&c.jobs) {
+            assert_eq!(a.submit, b.submit);
+        }
+    }
+
+    #[test]
+    fn runtime_and_nodes_untouched() {
+        let w = wl();
+        let c = compress_interarrivals(&w, 3.0);
+        for (a, b) in w.jobs.iter().zip(&c.jobs) {
+            assert_eq!(a.runtime, b.runtime);
+            assert_eq!(a.nodes, b.nodes);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_factor() {
+        compress_interarrivals(&wl(), 0.0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Descriptive statistics over a workload (the paper's Table 1 columns and
+//! the offered-load figures used for calibration).
+
+use crate::job::Characteristic;
+use crate::time::{Dur, Time};
+use crate::workload::Workload;
+
+/// Summary statistics of a [`Workload`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadStats {
+    /// Number of jobs in the trace.
+    pub requests: usize,
+    /// Machine size in nodes.
+    pub machine_nodes: u32,
+    /// Mean run time in minutes (Table 1's "Mean Run Time").
+    pub mean_runtime_min: f64,
+    /// Median run time in minutes.
+    pub median_runtime_min: f64,
+    /// Mean requested node count.
+    pub mean_nodes: f64,
+    /// Total work in node-hours.
+    pub total_work_node_hours: f64,
+    /// Submission span: first to last submission.
+    pub span: Dur,
+    /// Offered load: total work divided by machine capacity over the
+    /// submission span (`sum(nodes*rt) / (machine_nodes * span)`).
+    pub offered_load: f64,
+    /// Number of distinct users (0 when the trace lacks user data).
+    pub users: usize,
+    /// Number of distinct queues.
+    pub queues: usize,
+    /// Mean ratio of run time to maximum run time, over jobs that record a
+    /// limit (a measure of how loose user estimates are).
+    pub mean_runtime_to_limit: Option<f64>,
+}
+
+impl WorkloadStats {
+    /// Compute statistics for `w`. Returns a zeroed struct for an empty
+    /// workload.
+    pub fn of(w: &Workload) -> WorkloadStats {
+        if w.is_empty() {
+            return WorkloadStats {
+                requests: 0,
+                machine_nodes: w.machine_nodes,
+                mean_runtime_min: 0.0,
+                median_runtime_min: 0.0,
+                mean_nodes: 0.0,
+                total_work_node_hours: 0.0,
+                span: Dur::ZERO,
+                offered_load: 0.0,
+                users: 0,
+                queues: 0,
+                mean_runtime_to_limit: None,
+            };
+        }
+        let n = w.jobs.len() as f64;
+        let mut runtimes: Vec<i64> = w.jobs.iter().map(|j| j.runtime.seconds()).collect();
+        runtimes.sort_unstable();
+        let median = if runtimes.len() % 2 == 1 {
+            runtimes[runtimes.len() / 2] as f64
+        } else {
+            (runtimes[runtimes.len() / 2 - 1] + runtimes[runtimes.len() / 2]) as f64 / 2.0
+        };
+        let total_rt: f64 = runtimes.iter().map(|&r| r as f64).sum();
+        let total_work: f64 = w.jobs.iter().map(|j| j.work()).sum();
+        let total_nodes: f64 = w.jobs.iter().map(|j| j.nodes as f64).sum();
+        let first = w.jobs.first().map(|j| j.submit).unwrap_or(Time::ZERO);
+        let last = w.jobs.last().map(|j| j.submit).unwrap_or(Time::ZERO);
+        let span = last - first;
+        let offered = if span.is_positive() {
+            total_work / (w.machine_nodes as f64 * span.seconds() as f64)
+        } else {
+            0.0
+        };
+        let (mut ratio_sum, mut ratio_n) = (0.0, 0usize);
+        for j in &w.jobs {
+            if let Some(m) = j.max_runtime {
+                if m.is_positive() {
+                    ratio_sum += j.runtime.seconds() as f64 / m.seconds() as f64;
+                    ratio_n += 1;
+                }
+            }
+        }
+        WorkloadStats {
+            requests: w.jobs.len(),
+            machine_nodes: w.machine_nodes,
+            mean_runtime_min: total_rt / n / 60.0,
+            median_runtime_min: median / 60.0,
+            mean_nodes: total_nodes / n,
+            total_work_node_hours: total_work / 3600.0,
+            span,
+            offered_load: offered,
+            users: w.distinct_values(Characteristic::User).len(),
+            queues: w.distinct_values(Characteristic::Queue).len(),
+            mean_runtime_to_limit: if ratio_n > 0 {
+                Some(ratio_sum / ratio_n as f64)
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "requests: {}  nodes: {}  users: {}  queues: {}",
+            self.requests, self.machine_nodes, self.users, self.queues
+        )?;
+        writeln!(
+            f,
+            "mean rt: {:.2} min  median rt: {:.2} min  mean nodes: {:.1}",
+            self.mean_runtime_min, self.median_runtime_min, self.mean_nodes
+        )?;
+        write!(
+            f,
+            "span: {:.1} days  offered load: {:.3}  work: {:.0} node-h",
+            self.span.as_secs_f64() / 86_400.0,
+            self.offered_load,
+            self.total_work_node_hours
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobBuilder, JobId};
+
+    #[test]
+    fn empty_workload_stats() {
+        let w = Workload::new("empty", 10);
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.offered_load, 0.0);
+    }
+
+    #[test]
+    fn basic_stats() {
+        let mut w = Workload::new("t", 10);
+        w.jobs = vec![
+            JobBuilder::new()
+                .nodes(2)
+                .runtime(Dur(600))
+                .submit(Time(0))
+                .build(JobId(0)),
+            JobBuilder::new()
+                .nodes(4)
+                .runtime(Dur(1200))
+                .submit(Time(600))
+                .build(JobId(1)),
+        ];
+        w.finalize();
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.requests, 2);
+        // mean rt = (600+1200)/2 = 900 s = 15 min
+        assert!((s.mean_runtime_min - 15.0).abs() < 1e-9);
+        assert!((s.median_runtime_min - 15.0).abs() < 1e-9);
+        assert!((s.mean_nodes - 3.0).abs() < 1e-9);
+        // work = 2*600 + 4*1200 = 6000 node-s; span 600 s, 10 nodes
+        assert!((s.offered_load - 6000.0 / 6000.0).abs() < 1e-9);
+        assert!((s.total_work_node_hours - 6000.0 / 3600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn runtime_to_limit_ratio() {
+        let mut w = Workload::new("t", 10);
+        w.jobs = vec![
+            JobBuilder::new()
+                .runtime(Dur(100))
+                .max_runtime(Dur(200))
+                .build(JobId(0)),
+            JobBuilder::new()
+                .runtime(Dur(100))
+                .submit(Time(1))
+                .build(JobId(1)),
+        ];
+        w.finalize();
+        let s = WorkloadStats::of(&w);
+        assert_eq!(s.mean_runtime_to_limit, Some(0.5));
+    }
+
+    #[test]
+    fn median_odd_count() {
+        let mut w = Workload::new("t", 10);
+        w.jobs = (0..3)
+            .map(|i| {
+                JobBuilder::new()
+                    .runtime(Dur(60 * (i + 1)))
+                    .submit(Time(i))
+                    .build(JobId(i as u32))
+            })
+            .collect();
+        w.finalize();
+        let s = WorkloadStats::of(&w);
+        assert!((s.median_runtime_min - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_does_not_panic() {
+        let mut w = Workload::new("t", 10);
+        w.jobs = vec![JobBuilder::new().build(JobId(0))];
+        w.finalize();
+        let s = WorkloadStats::of(&w);
+        assert!(!format!("{s}").is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! Small, self-contained random distributions used by the synthetic
+//! generators.
+//!
+//! Implemented here (rather than pulling `rand_distr`) to keep the
+//! dependency set to the workspace's allowed list; each sampler is a few
+//! lines and unit-tested against its analytic moments.
+
+use rand::Rng;
+
+/// Sample a standard normal via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Draw u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Sample `Normal(mean, sd)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+/// Sample `LogNormal(mu, sigma)` (parameters of the underlying normal).
+/// The mean of the distribution is `exp(mu + sigma^2 / 2)`.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Sample `LogNormal` parameterized by its *mean* and the sigma of the
+/// underlying normal; convenient when calibrating to a target mean.
+pub fn lognormal_with_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(mean > 0.0, "lognormal mean must be positive");
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    lognormal(rng, mu, sigma)
+}
+
+/// Sample `Exponential(rate)`; mean is `1 / rate`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// A Zipf-like discrete distribution over `0..n`: item `i` has weight
+/// `1 / (i + 1)^s`. Precomputes the cumulative table for O(log n)
+/// sampling.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf table over `n` items with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(s.is_finite(), "Zipf exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 0..n {
+            total += 1.0 / ((i + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when the table is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Sample an index in `0..n`, lower indices more likely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = rng.gen::<f64>() * total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Sample an index from explicit non-negative weights.
+///
+/// # Panics
+/// Panics when `weights` is empty or sums to zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && total.is_finite(),
+        "weights must sum to a positive finite value"
+    );
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Sample a power of two in `[1, cap]`, biased toward small values with
+/// weight `1 / 2^(k * skew)` for exponent `k`.
+pub fn power_of_two<R: Rng + ?Sized>(rng: &mut R, cap: u32, skew: f64) -> u32 {
+    assert!(cap >= 1);
+    let max_exp = 31 - cap.leading_zeros(); // floor(log2(cap))
+    let weights: Vec<f64> = (0..=max_exp)
+        .map(|k| 1.0 / (2.0f64).powf(k as f64 * skew))
+        .collect();
+    1 << weighted_index(rng, &weights)
+}
+
+/// Round a duration in seconds *up* to the nearest "familiar" wall-clock
+/// limit, as users do when filling in maximum run times: 5/10/15/30 min,
+/// 1/2/4/6/8/12/18/24/36/48 h, then whole days.
+pub fn round_to_familiar_limit(seconds: f64) -> i64 {
+    const GRID: [i64; 14] = [
+        300, 600, 900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 64_800, 86_400,
+        129_600, 172_800,
+    ];
+    let s = seconds.max(1.0);
+    for &g in &GRID {
+        if s <= g as f64 {
+            return g;
+        }
+    }
+    // Whole days beyond the grid.
+    let days = (s / 86_400.0).ceil() as i64;
+    days * 86_400
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_with_mean_hits_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n)
+            .map(|_| lognormal_with_mean(&mut r, 100.0, 0.7))
+            .collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 100.0).abs() < 3.0, "mean {mean}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_prefers_low_indices() {
+        let mut r = rng();
+        let z = Zipf::new(50, 1.1);
+        let mut counts = [0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[40]);
+        assert_eq!(z.len(), 50);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[weighted_index(&mut r, &w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.4, "ratio {ratio}");
+    }
+
+    #[test]
+    fn power_of_two_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = power_of_two(&mut r, 100, 0.5);
+            assert!((1..=64).contains(&v));
+            assert!(v.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn familiar_limits() {
+        assert_eq!(round_to_familiar_limit(1.0), 300);
+        assert_eq!(round_to_familiar_limit(300.0), 300);
+        assert_eq!(round_to_familiar_limit(301.0), 600);
+        assert_eq!(round_to_familiar_limit(3700.0), 7200);
+        assert_eq!(round_to_familiar_limit(200_000.0), 3 * 86_400);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Analyze a workload's predictability before trusting history-based
+//! prediction on it — the due-diligence a site operator should run.
+//!
+//! ```sh
+//! cargo run --release --example analyze_workload [ANL|CTC|SDSC95|SDSC96|trace.swf]
+//! ```
+
+use qpredict::workload::{analysis, swf, synthetic, WorkloadStats};
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "ANL".to_string());
+    let wl = if arg.ends_with(".swf") {
+        let text = std::fs::read_to_string(&arg).expect("read SWF trace");
+        swf::parse(&arg, 512, &text).expect("parse SWF")
+    } else {
+        let mut spec = synthetic::sites::spec_by_name(&arg)
+            .unwrap_or_else(|| panic!("unknown site {arg:?}; use ANL/CTC/SDSC95/SDSC96 or a .swf path"));
+        spec.n_jobs = spec.n_jobs.min(8000); // keep the example snappy
+        synthetic::generate(&spec)
+    };
+
+    println!("=== {} ===", wl.name);
+    println!("{}\n", WorkloadStats::of(&wl));
+    let report = analysis::analyze(&wl);
+    println!("{report}");
+    println!(
+        "reading the grouping table: a ratio of 0.30 means jobs sharing those\n\
+         characteristics deviate from their group mean only 30% as much as jobs\n\
+         deviate globally — exactly the signal the paper's templates exploit."
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: generate a workload, schedule it three ways, and compare
+//! run-time predictors.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use qpredict::prelude::*;
+use qpredict::workload::synthetic;
+
+fn main() {
+    // A small synthetic site in the style of the paper's traces: users
+    // resubmit the same applications, so history predicts run times.
+    let wl = synthetic::toy(2_000, 64, 42);
+    let stats = WorkloadStats::of(&wl);
+    println!("workload: {}\n{stats}\n", wl.name);
+
+    // 1. How much does the scheduling algorithm matter? Schedule with
+    //    user-supplied maximum run times (what EASY-style systems do).
+    println!("scheduling with maximum run times:");
+    for alg in [Algorithm::Fcfs, Algorithm::Lwf, Algorithm::Backfill] {
+        let out = qpredict::core::run_scheduling(&wl, alg, PredictorKind::MaxRuntime);
+        println!(
+            "  {:<8}  util {:5.1}%  mean wait {:8.2} min",
+            alg.name(),
+            100.0 * out.metrics.utilization_window,
+            out.metrics.mean_wait.minutes()
+        );
+    }
+
+    // 2. How much do better run-time predictions matter? Drive backfill
+    //    with each predictor the paper compares.
+    println!("\nbackfill driven by each run-time predictor:");
+    for kind in PredictorKind::ALL {
+        let out = qpredict::core::run_scheduling(&wl, Algorithm::Backfill, kind.clone());
+        println!(
+            "  {:<10}  mean wait {:8.2} min   run-time error {:5.1}% of mean run time",
+            kind.name(),
+            out.metrics.mean_wait.minutes(),
+            out.runtime_errors.pct_of_mean_actual()
+        );
+    }
+
+    // 3. Predict queue wait times: how far off are the estimates a user
+    //    would see at submission?
+    println!("\nwait-time prediction under backfill:");
+    for kind in [
+        PredictorKind::Actual,
+        PredictorKind::MaxRuntime,
+        PredictorKind::Smith,
+    ] {
+        let out = run_wait_prediction(&wl, Algorithm::Backfill, kind.clone());
+        println!(
+            "  {:<10}  mean |predicted - actual wait| = {:7.2} min ({:4.0}% of mean wait)",
+            kind.name(),
+            out.wait_errors.mean_abs_error_min(),
+            out.wait_errors.pct_of_mean_actual()
+        );
+    }
+}

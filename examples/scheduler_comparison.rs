@@ -1,0 +1,58 @@
+//! Scheduler-and-predictor comparison on one of the paper's workloads —
+//! a miniature of Section 4's study.
+//!
+//! Sweeps the offered load of a site (by interarrival compression) and
+//! shows where better run-time predictions start to pay off: the paper's
+//! finding is that prediction accuracy matters most when the machine is
+//! busiest.
+//!
+//! ```sh
+//! cargo run --release --example scheduler_comparison [jobs]
+//! ```
+
+use qpredict::core::{run_scheduling, PredictorKind};
+use qpredict::prelude::*;
+use qpredict::workload::{compress_interarrivals, synthetic};
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3_000);
+
+    // Start from the SDSC96 site model (moderate load) and compress.
+    let mut spec = synthetic::sites::spec_by_name("SDSC96").expect("known site");
+    spec.n_jobs = jobs;
+    spec.n_users = spec.n_users.min((jobs / 20).max(4));
+    let base = synthetic::generate(&spec);
+
+    println!(
+        "{:>8} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "load x", "algorithm", "actual", "maxrt", "smith", "smith vs maxrt"
+    );
+    for factor in [1.0, 1.5, 2.0, 3.0] {
+        let wl = if factor == 1.0 {
+            base.clone()
+        } else {
+            compress_interarrivals(&base, factor)
+        };
+        for alg in [Algorithm::Lwf, Algorithm::Backfill] {
+            let actual = run_scheduling(&wl, alg, PredictorKind::Actual);
+            let maxrt = run_scheduling(&wl, alg, PredictorKind::MaxRuntime);
+            let smith = run_scheduling(&wl, alg, PredictorKind::Smith);
+            let gain = 100.0
+                * (maxrt.metrics.mean_wait.minutes() - smith.metrics.mean_wait.minutes())
+                / maxrt.metrics.mean_wait.minutes().max(1e-9);
+            println!(
+                "{:>8.1} {:>10} {:>10.1}m {:>10.1}m {:>10.1}m {:>+11.1}%",
+                factor,
+                alg.name(),
+                actual.metrics.mean_wait.minutes(),
+                maxrt.metrics.mean_wait.minutes(),
+                smith.metrics.mean_wait.minutes(),
+                gain,
+            );
+        }
+    }
+    println!("\n(positive last column: history-based predictions reduce mean wait)");
+}

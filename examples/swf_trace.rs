@@ -1,0 +1,53 @@
+//! Use a real accounting trace in Standard Workload Format.
+//!
+//! Writes a synthetic workload out as SWF, reads it back (as one would a
+//! Parallel Workloads Archive trace), and runs the paper's pipeline on
+//! it. Point the optional argument at a real `.swf` file to analyze an
+//! actual trace instead.
+//!
+//! ```sh
+//! cargo run --release --example swf_trace [trace.swf] [machine_nodes]
+//! ```
+
+use qpredict::core::{run_scheduling, run_wait_prediction, PredictorKind};
+use qpredict::prelude::*;
+use qpredict::workload::{swf, synthetic};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let wl = if let Some(path) = args.get(1) {
+        let nodes: u32 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(128);
+        let text = std::fs::read_to_string(path).expect("read SWF file");
+        let wl = swf::parse("swf-trace", nodes, &text).expect("parse SWF");
+        println!("loaded {} jobs from {path}", wl.len());
+        wl
+    } else {
+        // No trace on hand: demonstrate the round trip on a synthetic one.
+        let original = synthetic::toy(1_500, 64, 23);
+        let text = swf::write(&original);
+        println!(
+            "no trace given; round-tripping a synthetic workload through SWF \
+             ({} bytes)",
+            text.len()
+        );
+        swf::parse("roundtrip", original.machine_nodes, &text).expect("reparse")
+    };
+
+    wl.validate().expect("valid workload");
+    println!("\n{}\n", WorkloadStats::of(&wl));
+
+    // SWF keeps user/executable/queue — enough for the whole pipeline.
+    let sched = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
+    println!(
+        "backfill + smith:  util {:.1}%  mean wait {:.2} min  rt-err {:.0}% of mean rt",
+        100.0 * sched.metrics.utilization_window,
+        sched.metrics.mean_wait.minutes(),
+        sched.runtime_errors.pct_of_mean_actual()
+    );
+    let wait = run_wait_prediction(&wl, Algorithm::Backfill, PredictorKind::Smith);
+    println!(
+        "wait prediction:   MAE {:.2} min ({:.0}% of mean wait)",
+        wait.wait_errors.mean_abs_error_min(),
+        wait.wait_errors.pct_of_mean_actual()
+    );
+}

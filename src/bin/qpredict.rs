@@ -1,0 +1,211 @@
+//! `qpredict` — command-line front end to the library.
+//!
+//! ```text
+//! qpredict generate <ANL|CTC|SDSC95|SDSC96|toy> [--jobs N] [--out FILE]
+//! qpredict analyze  <trace.swf|site> [--nodes N]
+//! qpredict simulate <trace.swf|site> [--nodes N] [--alg A] [--predictor P]
+//! qpredict waitpred <trace.swf|site> [--nodes N] [--alg A] [--predictor P]
+//! qpredict gantt    <trace.swf|site> [--nodes N] [--alg A] [--out FILE]
+//! ```
+//!
+//! Sites are generated synthetically (full Table 1 size unless `--jobs`);
+//! `.swf` paths are parsed as Standard Workload Format traces.
+
+use std::process::exit;
+
+use qpredict::core::{run_scheduling, run_wait_prediction, PredictorKind};
+use qpredict::prelude::*;
+use qpredict::sim::{timeline_of, ActualEstimator};
+use qpredict::workload::{analysis, swf, synthetic};
+
+struct Opts {
+    positional: Vec<String>,
+    nodes: u32,
+    jobs: Option<usize>,
+    alg: Algorithm,
+    predictor: PredictorKind,
+    out: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: qpredict <generate|analyze|simulate|waitpred|gantt> <trace.swf|site> \
+         [--nodes N] [--jobs N] [--alg fcfs|lwf|backfill|easy] \
+         [--predictor actual|maxrt|smith|gibbons|downey-avg|downey-med] [--out FILE]"
+    );
+    exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        positional: Vec::new(),
+        nodes: 128,
+        jobs: None,
+        alg: Algorithm::Backfill,
+        predictor: PredictorKind::Smith,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                o.nodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                o.jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
+            }
+            "--alg" => {
+                o.alg = it
+                    .next()
+                    .and_then(|v| Algorithm::parse(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--predictor" => {
+                o.predictor = it
+                    .next()
+                    .and_then(|v| PredictorKind::parse(&v))
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => o.out = it.next().or_else(|| usage()),
+            "--help" | "-h" => usage(),
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    if o.positional.len() < 2 {
+        usage();
+    }
+    o
+}
+
+fn load(source: &str, opts: &Opts) -> Workload {
+    if source.ends_with(".swf") {
+        let text = std::fs::read_to_string(source).unwrap_or_else(|e| {
+            eprintln!("cannot read {source}: {e}");
+            exit(1)
+        });
+        match swf::parse(source, opts.nodes, &text) {
+            Ok(w) => w,
+            Err(e) => {
+                eprintln!("{e}");
+                exit(1)
+            }
+        }
+    } else if source.eq_ignore_ascii_case("toy") {
+        synthetic::toy(opts.jobs.unwrap_or(2000), opts.nodes.min(128), 42)
+    } else {
+        let mut spec = synthetic::sites::spec_by_name(source).unwrap_or_else(|| {
+            eprintln!("unknown site {source:?} (use ANL, CTC, SDSC95, SDSC96, toy, or a .swf path)");
+            exit(1)
+        });
+        if let Some(n) = opts.jobs {
+            spec.n_jobs = n;
+            spec.n_users = spec.n_users.min((n / 20).max(4));
+        }
+        synthetic::generate(&spec)
+    }
+}
+
+/// Bulk output to stdout, tolerating a closed pipe (`qpredict gantt … |
+/// head` must not panic).
+fn emit_stdout(text: &str) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if lock.write_all(text.as_bytes()).is_err() {
+        exit(0); // downstream closed the pipe; nothing left to do
+    }
+    let _ = lock.flush();
+}
+
+fn main() {
+    let opts = parse_opts();
+    let cmd = opts.positional[0].as_str();
+    let source = opts.positional[1].as_str();
+
+    match cmd {
+        "generate" => {
+            let wl = load(source, &opts);
+            let text = swf::write(&wl);
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!("{} jobs written to {path}", wl.len());
+                }
+                None => emit_stdout(&text),
+            }
+        }
+        "analyze" => {
+            let wl = load(source, &opts);
+            println!("=== {} ===", wl.name);
+            println!("{}\n", WorkloadStats::of(&wl));
+            println!("{}", analysis::analyze(&wl));
+        }
+        "simulate" => {
+            let wl = load(source, &opts);
+            let out = run_scheduling(&wl, opts.alg, opts.predictor.clone());
+            println!(
+                "{} jobs under {} + {}:",
+                out.metrics.n_jobs,
+                opts.alg.name(),
+                opts.predictor.name()
+            );
+            println!("  utilization     {:.2}% (arrival window)", 100.0 * out.metrics.utilization_window);
+            println!("  mean wait       {:.2} min", out.metrics.mean_wait.minutes());
+            println!("  median wait     {:.2} min", out.metrics.median_wait.minutes());
+            println!("  max wait        {:.2} min", out.metrics.max_wait.minutes());
+            println!("  bounded slowdown {:.2}", out.metrics.mean_bounded_slowdown);
+            if out.runtime_errors.count() > 0 {
+                println!(
+                    "  run-time predictions: {} made, MAE {:.2} min ({:.0}% of mean run time)",
+                    out.runtime_errors.count(),
+                    out.runtime_errors.mean_abs_error_min(),
+                    out.runtime_errors.pct_of_mean_actual()
+                );
+            }
+        }
+        "waitpred" => {
+            let wl = load(source, &opts);
+            let out = run_wait_prediction(&wl, opts.alg, opts.predictor.clone());
+            println!(
+                "wait-time prediction on {} under {} + {}:",
+                wl.name,
+                opts.alg.name(),
+                opts.predictor.name()
+            );
+            println!(
+                "  wait MAE     {:.2} min ({:.0}% of mean wait {:.2} min)",
+                out.wait_errors.mean_abs_error_min(),
+                out.wait_errors.pct_of_mean_actual(),
+                out.wait_errors.mean_actual_min()
+            );
+            println!(
+                "  run-time MAE {:.2} min ({:.0}% of mean run time)",
+                out.runtime_errors.mean_abs_error_min(),
+                out.runtime_errors.pct_of_mean_actual()
+            );
+        }
+        "gantt" => {
+            let wl = load(source, &opts);
+            let (timeline, result) = timeline_of(&wl, opts.alg, &mut ActualEstimator);
+            let csv = timeline.jobs_csv();
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &csv).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!(
+                        "{} intervals written to {path} ({})",
+                        result.outcomes.len(),
+                        result.metrics
+                    );
+                }
+                None => emit_stdout(&csv),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,95 @@
+//! End-to-end tests of the `qpredict` command-line binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_qpredict"))
+}
+
+#[test]
+fn simulate_toy_reports_metrics() {
+    let out = bin()
+        .args(["simulate", "toy", "--jobs", "300", "--nodes", "32"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("utilization"), "{text}");
+    assert!(text.contains("mean wait"), "{text}");
+    assert!(text.contains("run-time predictions"), "{text}");
+}
+
+#[test]
+fn generate_then_analyze_round_trip() {
+    let dir = std::env::temp_dir().join("qpredict_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let swf = dir.join("trace.swf");
+    let out = bin()
+        .args([
+            "generate",
+            "toy",
+            "--jobs",
+            "120",
+            "--nodes",
+            "32",
+            "--out",
+            swf.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    assert!(swf.exists());
+
+    let out = bin()
+        .args(["analyze", swf.to_str().unwrap(), "--nodes", "32"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("requests: 120"), "{text}");
+    assert!(text.contains("identity groupings"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn waitpred_runs_on_site() {
+    let out = bin()
+        .args([
+            "waitpred", "SDSC95", "--jobs", "200", "--alg", "lwf", "--predictor", "maxrt",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("wait MAE"), "{text}");
+}
+
+#[test]
+fn gantt_emits_csv() {
+    let out = bin()
+        .args(["gantt", "toy", "--jobs", "50", "--nodes", "16"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let mut lines = text.lines();
+    assert_eq!(lines.next(), Some("job,start,finish,nodes"));
+    assert_eq!(lines.count(), 50);
+}
+
+#[test]
+fn bad_arguments_fail_cleanly() {
+    let out = bin().args(["simulate"]).output().expect("binary runs");
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["frobnicate", "toy"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["simulate", "NERSC"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown site"));
+}
