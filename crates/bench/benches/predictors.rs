@@ -1,8 +1,7 @@
 //! Predictor microbenchmarks: cost of one prediction and one history
 //! insertion for each predictor, after realistic warm-up.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use qpredict_bench::bench;
 use qpredict_core::PredictorKind;
 use qpredict_predict::RunTimePredictor;
 use qpredict_workload::synthetic::toy;
@@ -16,63 +15,51 @@ fn warmed(kind: &PredictorKind, wl: &qpredict_workload::Workload) -> impl RunTim
     p
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn bench_predict() {
     let wl = toy(4_000, 64, 302);
     let probe: Vec<_> = wl.jobs.iter().skip(wl.len() / 2).take(64).collect();
-    let mut g = c.benchmark_group("predict");
     for kind in PredictorKind::ALL {
         let mut p = warmed(&kind, &wl);
-        g.bench_with_input(
-            BenchmarkId::new("queued", kind.name()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    let mut acc = 0i64;
-                    for j in &probe {
-                        acc += p.predict(j, Dur::ZERO).estimate.seconds();
-                    }
-                    acc
-                })
-            },
-        );
+        bench("predict", &format!("queued/{}", kind.name()), || {
+            let mut acc = 0i64;
+            for j in &probe {
+                acc += p.predict(j, Dur::ZERO).estimate.seconds();
+            }
+            acc
+        });
         let mut p = warmed(&kind, &wl);
-        g.bench_with_input(
-            BenchmarkId::new("running", kind.name()),
-            &kind,
-            |b, _| {
-                b.iter(|| {
-                    let mut acc = 0i64;
-                    for j in &probe {
-                        acc += p.predict(j, Dur(600)).estimate.seconds();
-                    }
-                    acc
-                })
-            },
-        );
+        bench("predict", &format!("running/{}", kind.name()), || {
+            let mut acc = 0i64;
+            for j in &probe {
+                acc += p.predict(j, Dur(600)).estimate.seconds();
+            }
+            acc
+        });
     }
-    g.finish();
 }
 
-fn bench_insert(c: &mut Criterion) {
+fn bench_insert() {
     let wl = toy(4_000, 64, 303);
-    let mut g = c.benchmark_group("insert");
-    for kind in [PredictorKind::Smith, PredictorKind::Gibbons, PredictorKind::DowneyMedian] {
-        g.bench_with_input(
-            BenchmarkId::new("on_complete x1000", kind.name()),
-            &kind,
-            |b, kind| {
-                b.iter(|| {
-                    let mut p = kind.build(&wl);
-                    for j in wl.jobs.iter().take(1000) {
-                        p.on_complete(j);
-                    }
-                    p.predict(&wl.jobs[2000], Dur::ZERO).estimate
-                })
+    for kind in [
+        PredictorKind::Smith,
+        PredictorKind::Gibbons,
+        PredictorKind::DowneyMedian,
+    ] {
+        bench(
+            "insert",
+            &format!("on_complete x1000/{}", kind.name()),
+            || {
+                let mut p = kind.build(&wl);
+                for j in wl.jobs.iter().take(1000) {
+                    p.on_complete(j);
+                }
+                p.predict(&wl.jobs[2000], Dur::ZERO).estimate
             },
         );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_predict, bench_insert);
-criterion_main!(benches);
+fn main() {
+    bench_predict();
+    bench_insert();
+}

@@ -1,15 +1,14 @@
 //! Search-machinery benchmarks: fitness evaluation throughput, one GA
 //! generation, and chromosome encode/decode.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use qpredict_bench::bench;
 use qpredict_predict::TemplateSet;
 use qpredict_search::{decode, encode, evaluate, search, GaConfig, PredictionWorkload, Target};
 use qpredict_sim::Algorithm;
 use qpredict_workload::synthetic::toy;
 use qpredict_workload::Characteristic;
 
-fn bench_fitness(c: &mut Criterion) {
+fn bench_fitness() {
     let wl = toy(1_000, 64, 306);
     let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 2);
     let set = TemplateSet::default_for(
@@ -20,37 +19,29 @@ fn bench_fitness(c: &mut Criterion) {
         ],
         true,
     );
-    let mut g = c.benchmark_group("fitness");
-    g.throughput(Throughput::Elements(pw.n_predictions as u64));
-    g.bench_with_input(
-        BenchmarkId::new("evaluate", pw.n_predictions),
-        &pw,
-        |b, pw| b.iter(|| evaluate(&set, &wl, pw)),
+    bench(
+        "fitness",
+        &format!("evaluate/{}preds", pw.n_predictions),
+        || evaluate(&set, &wl, &pw),
     );
-    g.finish();
 }
 
-fn bench_ga_generation(c: &mut Criterion) {
+fn bench_ga_generation() {
     let wl = toy(500, 64, 307);
     let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
-    let mut g = c.benchmark_group("ga");
-    g.sample_size(10);
-    g.bench_function("pop12-gen2", |b| {
-        b.iter(|| {
-            let cfg = GaConfig {
-                population: 12,
-                generations: 2,
-                threads: 1,
-                seed: 9,
-                ..GaConfig::default()
-            };
-            search(&wl, &pw, &cfg)
-        })
+    bench("ga", "pop12-gen2", || {
+        let cfg = GaConfig {
+            population: 12,
+            generations: 2,
+            threads: 1,
+            seed: 9,
+            ..GaConfig::default()
+        };
+        search(&wl, &pw, &cfg)
     });
-    g.finish();
 }
 
-fn bench_encoding(c: &mut Criterion) {
+fn bench_encoding() {
     let set = TemplateSet::default_for(
         &[
             Characteristic::User,
@@ -60,11 +51,12 @@ fn bench_encoding(c: &mut Criterion) {
         true,
     );
     let bits = encode(&set);
-    let mut g = c.benchmark_group("encoding");
-    g.bench_function("encode", |b| b.iter(|| encode(&set)));
-    g.bench_function("decode", |b| b.iter(|| decode(&bits)));
-    g.finish();
+    bench("encoding", "encode", || encode(&set));
+    bench("encoding", "decode", || decode(&bits));
 }
 
-criterion_group!(benches, bench_fitness, bench_ga_generation, bench_encoding);
-criterion_main!(benches);
+fn main() {
+    bench_fitness();
+    bench_ga_generation();
+    bench_encoding();
+}

@@ -1,59 +1,47 @@
 //! Engine throughput: jobs scheduled per second under each algorithm,
 //! and availability-profile microbenchmarks.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use qpredict_bench::bench;
 use qpredict_sim::{ActualEstimator, Algorithm, MaxRuntimeEstimator, Profile, Simulation};
 use qpredict_workload::synthetic::toy;
 use qpredict_workload::{Dur, Time};
 
-fn bench_engine(c: &mut Criterion) {
+fn bench_engine() {
     let wl = toy(2_000, 64, 301);
-    let mut g = c.benchmark_group("engine");
-    g.throughput(Throughput::Elements(wl.len() as u64));
     for alg in Algorithm::ALL {
-        g.bench_with_input(BenchmarkId::new("oracle", alg.name()), &alg, |b, &alg| {
-            b.iter(|| Simulation::run(&wl, alg, &mut ActualEstimator))
+        bench("engine", &format!("oracle/{}", alg.name()), || {
+            Simulation::run(&wl, alg, &mut ActualEstimator)
         });
     }
     // Backfill is the estimator-hungry algorithm; measure it with the
     // max-runtime estimator too (the EASY configuration).
     let mut est = MaxRuntimeEstimator::from_workload(&wl);
-    g.bench_function("maxrt/Backfill", |b| {
-        b.iter(|| Simulation::run(&wl, Algorithm::Backfill, &mut est))
+    bench("engine", "maxrt/Backfill", || {
+        Simulation::run(&wl, Algorithm::Backfill, &mut est)
     });
-    g.finish();
 }
 
-fn bench_profile(c: &mut Criterion) {
-    let mut g = c.benchmark_group("profile");
+fn bench_profile() {
     for n_running in [8usize, 64, 256] {
         let running: Vec<(u32, Time)> = (0..n_running)
             .map(|i| (1 + (i as u32 % 4), Time(100 + 37 * i as i64)))
             .collect();
-        g.bench_with_input(
-            BenchmarkId::new("build", n_running),
-            &running,
-            |b, running| b.iter(|| Profile::new(1024, Time(0), running)),
-        );
-        g.bench_with_input(
-            BenchmarkId::new("fit+reserve x32", n_running),
-            &running,
-            |b, running| {
-                b.iter(|| {
-                    let mut p = Profile::new(1024, Time(0), running);
-                    for k in 0..32u32 {
-                        let nodes = 1 + k % 64;
-                        let at = p.earliest_fit(nodes, Dur(50 + k as i64));
-                        p.reserve(at, Dur(50 + k as i64), nodes);
-                    }
-                    p
-                })
-            },
-        );
+        bench("profile", &format!("build/{n_running}"), || {
+            Profile::new(1024, Time(0), &running)
+        });
+        bench("profile", &format!("fit+reserve x32/{n_running}"), || {
+            let mut p = Profile::new(1024, Time(0), &running);
+            for k in 0..32u32 {
+                let nodes = 1 + k % 64;
+                let at = p.earliest_fit(nodes, Dur(50 + k as i64));
+                p.reserve(at, Dur(50 + k as i64), nodes);
+            }
+            p
+        });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_profile);
-criterion_main!(benches);
+fn main() {
+    bench_engine();
+    bench_profile();
+}

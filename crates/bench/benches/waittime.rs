@@ -1,16 +1,14 @@
 //! Cost of queue wait-time prediction: one nested forecast as a function
 //! of queue depth, and the full per-table pipeline at small scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use qpredict_bench::bench;
 use qpredict_core::{forecast_start, run_wait_prediction, PredictorKind};
 use qpredict_sim::{Algorithm, Snapshot};
 use qpredict_workload::synthetic::toy;
 use qpredict_workload::{Dur, JobId, Time};
 
-fn bench_forecast_depth(c: &mut Criterion) {
+fn bench_forecast_depth() {
     let wl = toy(1_200, 64, 304);
-    let mut g = c.benchmark_group("forecast");
     for depth in [4usize, 16, 64, 256] {
         // Build a consistent snapshot: job 0 running, `depth` jobs
         // queued, the target last.
@@ -21,40 +19,32 @@ fn bench_forecast_depth(c: &mut Criterion) {
             queued: (1..=depth as u32).map(|i| (JobId(i), i as u64)).collect(),
         };
         for alg in [Algorithm::Fcfs, Algorithm::Backfill] {
-            g.bench_with_input(
-                BenchmarkId::new(alg.name(), depth),
-                &snap,
-                |b, snap| {
-                    b.iter(|| {
-                        forecast_start(
-                            &wl,
-                            alg,
-                            snap,
-                            |j, e| j.limit_or_max().min(Dur(36_000)).max(e + Dur(1)),
-                            |j, e| j.runtime.max(e + Dur(1)),
-                            JobId(depth as u32),
-                        )
-                    })
-                },
-            );
+            bench("forecast", &format!("{}/{depth}", alg.name()), || {
+                forecast_start(
+                    &wl,
+                    alg,
+                    &snap,
+                    |j, e| j.limit_or_max().min(Dur(36_000)).max(e + Dur(1)),
+                    |j, e| j.runtime.max(e + Dur(1)),
+                    JobId(depth as u32),
+                )
+            });
         }
     }
-    g.finish();
 }
 
-fn bench_wait_pipeline(c: &mut Criterion) {
+fn bench_wait_pipeline() {
     let wl = toy(400, 32, 305);
-    let mut g = c.benchmark_group("wait-pipeline");
-    g.sample_size(10);
     for kind in [PredictorKind::Actual, PredictorKind::Smith] {
-        g.bench_with_input(
-            BenchmarkId::new("backfill-400jobs", kind.name()),
-            &kind,
-            |b, kind| b.iter(|| run_wait_prediction(&wl, Algorithm::Backfill, kind.clone())),
+        bench(
+            "wait-pipeline",
+            &format!("backfill-400jobs/{}", kind.name()),
+            || run_wait_prediction(&wl, Algorithm::Backfill, kind.clone()),
         );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_forecast_depth, bench_wait_pipeline);
-criterion_main!(benches);
+fn main() {
+    bench_forecast_depth();
+    bench_wait_pipeline();
+}

@@ -20,9 +20,7 @@ use qpredict_core::grid::default_threads;
 use qpredict_core::paper::{self, Scale};
 use qpredict_core::tables::Table;
 use qpredict_core::PredictorKind;
-use qpredict_search::{
-    greedy_search, search, GaConfig, GreedyConfig, PredictionWorkload, Target,
-};
+use qpredict_search::{greedy_search, search, GaConfig, GreedyConfig, PredictionWorkload, Target};
 use qpredict_sim::Algorithm;
 use qpredict_workload::Workload;
 
@@ -207,7 +205,10 @@ fn ga_search(wls: &[Workload], threads: usize) -> Table {
             if ga_wins { "GA" } else { "curated" }.to_string(),
         ]);
         if ga_wins {
-            eprintln!("// {}: GA set (val MAE {ga_val:.2} min vs curated {curated_val:.2})", wl.name);
+            eprintln!(
+                "// {}: GA set (val MAE {ga_val:.2} min vs curated {curated_val:.2})",
+                wl.name
+            );
             eprintln!("{}", set_to_rust(&r.best));
         }
     }
@@ -270,8 +271,7 @@ fn warmup_table(wls: &[Workload], threads: usize) -> Table {
             move || {
                 let half = w.len() / 2;
                 let eval = w.suffix(half);
-                let cold =
-                    run_wait_prediction(&eval, Algorithm::Backfill, PredictorKind::Smith);
+                let cold = run_wait_prediction(&eval, Algorithm::Backfill, PredictorKind::Smith);
                 let warm =
                     run_wait_prediction_warm(w, Algorithm::Backfill, PredictorKind::Smith, half);
                 (cold, warm)
@@ -345,11 +345,7 @@ fn set_to_rust(set: &qpredict_predict::TemplateSet) -> String {
     use std::fmt::Write;
     let mut out = String::from("TemplateSet::new(vec![\n");
     for t in set.templates() {
-        let chars: Vec<String> = t
-            .chars
-            .iter()
-            .map(|c| format!("C::{c:?}"))
-            .collect();
+        let chars: Vec<String> = t.chars.iter().map(|c| format!("C::{c:?}")).collect();
         let _ = write!(out, "    Template::mean_over(&[{}])", chars.join(", "));
         match t.estimator {
             qpredict_predict::EstimatorKind::Mean => {}

@@ -3,7 +3,7 @@
 //! scheduling algorithms, while recording the run-time prediction errors
 //! the paper reports alongside each experiment.
 
-use qpredict_predict::{ErrorStats, RunTimePredictor};
+use qpredict_predict::{DegradationCounts, ErrorStats, RunTimePredictor};
 use qpredict_sim::RuntimeEstimator;
 use qpredict_workload::{Dur, Job, Time};
 
@@ -45,6 +45,12 @@ impl<P: RunTimePredictor> PredictorEstimator<P> {
     /// Access the wrapped predictor.
     pub fn predictor(&self) -> &P {
         &self.predictor
+    }
+
+    /// Degradation accounting from the wrapped predictor, when it chains
+    /// multiple sources (`None` for simple predictors).
+    pub fn degradations(&self) -> Option<DegradationCounts> {
+        self.predictor.degradations()
     }
 
     /// Consume the adapter, returning the predictor and the error stats.

@@ -121,14 +121,7 @@ pub fn forecast_start(
                 pred_runtime: q.belief_dur,
             })
             .collect();
-        let mut started = schedule_pass(
-            alg,
-            now,
-            wl.machine_nodes,
-            free,
-            &running_views,
-            &entries,
-        );
+        let mut started = schedule_pass(alg, now, wl.machine_nodes, free, &running_views, &entries);
         started.sort_unstable();
         for &i in started.iter().rev() {
             let q = queue.remove(i);
@@ -221,7 +214,8 @@ pub fn forecast_start_interval(
         };
         Dur::from_secs_f64((est.as_secs_f64() + sign * half).max(1.0))
     };
-    let run = |sign: f64, cache: &std::collections::HashMap<(JobId, Dur), (Dur, f64)>,
+    let run = |sign: f64,
+               cache: &std::collections::HashMap<(JobId, Dur), (Dur, f64)>,
                beliefs: &std::collections::HashMap<(JobId, Dur), Dur>|
      -> Time {
         forecast_start(
@@ -275,7 +269,10 @@ mod tests {
         Snapshot {
             now: Time(now),
             free_nodes: free,
-            running: running.iter().map(|&(id, s)| (JobId(id), Time(s))).collect(),
+            running: running
+                .iter()
+                .map(|&(id, s)| (JobId(id), Time(s)))
+                .collect(),
             queued: queued
                 .iter()
                 .enumerate()
@@ -300,36 +297,54 @@ mod tests {
     fn empty_machine_starts_target_immediately() {
         let w = wl(&[(0, 4, 100)]);
         let s = snap(0, 8, &[], &[0]);
-        assert_eq!(fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(0)), Time(0));
+        assert_eq!(
+            fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(0)),
+            Time(0)
+        );
     }
 
     #[test]
     fn fcfs_waits_for_running_job() {
         let w = wl(&[(0, 8, 100), (10, 8, 50)]);
         let s = snap(10, 0, &[(0, 0)], &[1]);
-        assert_eq!(fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(1)), Time(100));
+        assert_eq!(
+            fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(1)),
+            Time(100)
+        );
     }
 
     #[test]
     fn forecast_uses_predictions_not_actuals() {
         let w = wl(&[(0, 8, 100), (10, 8, 50)]);
         let s = snap(10, 0, &[(0, 0)], &[1]);
-        assert_eq!(fc(&w, Algorithm::Fcfs, &s, |_j, _| Dur(1000), JobId(1)), Time(1000));
+        assert_eq!(
+            fc(&w, Algorithm::Fcfs, &s, |_j, _| Dur(1000), JobId(1)),
+            Time(1000)
+        );
     }
 
     #[test]
     fn elapsed_time_conditioning_applies() {
         let w = wl(&[(0, 8, 600), (500, 8, 50)]);
         let s = snap(500, 0, &[(0, 0)], &[1]);
-        assert_eq!(fc(&w, Algorithm::Fcfs, &s, |_j, _| Dur(100), JobId(1)), Time(501));
+        assert_eq!(
+            fc(&w, Algorithm::Fcfs, &s, |_j, _| Dur(100), JobId(1)),
+            Time(501)
+        );
     }
 
     #[test]
     fn lwf_forecast_reorders_queue() {
         let w = wl(&[(0, 8, 100), (10, 8, 1000), (20, 8, 50)]);
         let s = snap(20, 0, &[(0, 0)], &[1, 2]);
-        assert_eq!(fc(&w, Algorithm::Lwf, &s, |j, _| j.runtime, JobId(2)), Time(100));
-        assert_eq!(fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(2)), Time(1100));
+        assert_eq!(
+            fc(&w, Algorithm::Lwf, &s, |j, _| j.runtime, JobId(2)),
+            Time(100)
+        );
+        assert_eq!(
+            fc(&w, Algorithm::Fcfs, &s, |j, _| j.runtime, JobId(2)),
+            Time(1100)
+        );
     }
 
     #[test]

@@ -5,10 +5,12 @@
 //! wait-prediction dwarfs SDSC FCFS scheduling), so cells are pulled from
 //! a shared queue by a fixed pool of scoped workers.
 
-use crossbeam::channel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Run `cells` concurrently on up to `threads` workers, returning the
-/// results in input order. Panics in a cell propagate.
+/// results in input order. Panics in a cell propagate. Work is pulled
+/// from a shared atomic cursor so uneven cells balance dynamically.
 pub fn run_cells<T, F>(cells: Vec<F>, threads: usize) -> Vec<T>
 where
     T: Send,
@@ -19,35 +21,34 @@ where
     if threads <= 1 {
         return cells.into_iter().map(|c| c()).collect();
     }
-    let (task_tx, task_rx) = channel::unbounded::<(usize, F)>();
-    for (i, c) in cells.into_iter().enumerate() {
-        task_tx.send((i, c)).expect("queue open");
-    }
-    drop(task_tx);
-    let (res_tx, res_rx) = channel::unbounded::<(usize, T)>();
+    let next = AtomicUsize::new(0);
+    let tasks: Vec<Mutex<Option<F>>> = cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            let res_tx = res_tx.clone();
-            scope.spawn(move || {
-                while let Ok((i, cell)) = task_rx.recv() {
-                    let out = cell();
-                    if res_tx.send((i, out)).is_err() {
-                        break;
-                    }
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                let cell = tasks[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("each cell claimed once");
+                let out = cell();
+                *results[i].lock().expect("result slot poisoned") = Some(out);
             });
         }
-        drop(res_tx);
-        let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
-        while let Ok((i, out)) = res_rx.recv() {
-            results[i] = Some(out);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every cell completed"))
-            .collect()
-    })
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every cell completed")
+        })
+        .collect()
 }
 
 /// Default worker count: the machine's parallelism.

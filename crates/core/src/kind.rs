@@ -1,8 +1,9 @@
 //! Uniform construction of every predictor the paper compares.
 
 use qpredict_predict::{
-    DowneyPredictor, DowneyVariant, GibbonsPredictor, MaxRuntimePredictor, OraclePredictor,
-    Prediction, RunTimePredictor, SmithPredictor, TemplateSet,
+    DegradationCounts, DowneyPredictor, DowneyVariant, FallbackPredictor, GibbonsPredictor,
+    MaxRuntimePredictor, OraclePredictor, Prediction, RunTimePredictor, SmithPredictor,
+    TemplateSet,
 };
 use qpredict_workload::{Dur, Job, Workload};
 
@@ -28,6 +29,11 @@ pub enum PredictorKind {
     DowneyAverage,
     /// Downey's conditional-median predictor (Tables 9 and 15).
     DowneyMedian,
+    /// Degradation chain: Smith → Gibbons → Downey-median → user maximum
+    /// run time → static default, recording every degradation event. Not
+    /// part of the paper's comparison; the robust production
+    /// configuration.
+    Fallback,
 }
 
 impl PredictorKind {
@@ -51,6 +57,7 @@ impl PredictorKind {
             PredictorKind::Gibbons => "gibbons",
             PredictorKind::DowneyAverage => "downey-avg",
             PredictorKind::DowneyMedian => "downey-med",
+            PredictorKind::Fallback => "fallback",
         }
     }
 
@@ -63,6 +70,7 @@ impl PredictorKind {
             "gibbons" => Some(PredictorKind::Gibbons),
             "downey-avg" | "downey-average" => Some(PredictorKind::DowneyAverage),
             "downey-med" | "downey-median" => Some(PredictorKind::DowneyMedian),
+            "fallback" | "chain" => Some(PredictorKind::Fallback),
             _ => None,
         }
     }
@@ -82,6 +90,18 @@ impl PredictorKind {
             PredictorKind::DowneyMedian => Box::new(DowneyPredictor::for_workload(
                 DowneyVariant::ConditionalMedian,
                 wl,
+            )),
+            PredictorKind::Fallback => Box::new(FallbackPredictor::new(
+                vec![
+                    Box::new(SmithPredictor::new(searched::set_for(wl))),
+                    Box::new(GibbonsPredictor::new()),
+                    Box::new(DowneyPredictor::for_workload(
+                        DowneyVariant::ConditionalMedian,
+                        wl,
+                    )),
+                ],
+                MaxRuntimePredictor::from_workload(wl),
+                FallbackPredictor::DEFAULT_ESTIMATE,
             )),
         };
         BoxedPredictor { inner }
@@ -117,6 +137,10 @@ impl RunTimePredictor for BoxedPredictor {
     fn reset(&mut self) {
         self.inner.reset()
     }
+
+    fn degradations(&self) -> Option<DegradationCounts> {
+        self.inner.degradations()
+    }
 }
 
 #[cfg(test)]
@@ -140,6 +164,27 @@ mod tests {
             assert_eq!(PredictorKind::parse(kind.name()), Some(kind.clone()));
         }
         assert_eq!(PredictorKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn fallback_kind_builds_and_degrades() {
+        let wl = toy(50, 16, 3);
+        let kind = PredictorKind::parse("fallback").unwrap();
+        assert_eq!(kind, PredictorKind::Fallback);
+        let mut p = kind.build(&wl);
+        assert_eq!(p.name(), "fallback");
+        // Cold chain: the learned tiers must all fail and be counted.
+        let pred = p.predict(&wl.jobs[0], Dur::ZERO);
+        assert!(pred.estimate >= Dur::SECOND);
+        let d = p.degradations().expect("chain reports degradations");
+        assert!(
+            d.degradations >= 3,
+            "cold chain degraded {} times",
+            d.degradations
+        );
+        assert_eq!(d.total_served(), 1);
+        // Simple predictors report nothing.
+        assert!(PredictorKind::Actual.build(&wl).degradations().is_none());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub use adapter::PredictorEstimator;
 pub use forecast::{forecast_start, forecast_start_interval, WaitInterval};
 pub use grid::run_cells;
 pub use kind::PredictorKind;
-pub use scheduling::{run_scheduling, SchedulingOutcome};
+pub use scheduling::{run_scheduling, run_scheduling_with, FaultSummary, SchedulingOutcome};
 pub use statewait::{run_state_wait_prediction, StateWaitPredictor};
 pub use tables::Table;
 pub use waittime::{run_wait_prediction, run_wait_prediction_warm, WaitPredictionOutcome};

@@ -94,9 +94,11 @@ pub fn table1(wls: &[Workload]) -> Table {
     );
     for w in wls {
         let s = WorkloadStats::of(w);
-        let r = REF.iter().find(|r| r.0 == w.name).copied().unwrap_or((
-            "?", "?", 0, 0, 0.0,
-        ));
+        let r = REF
+            .iter()
+            .find(|r| r.0 == w.name)
+            .copied()
+            .unwrap_or(("?", "?", 0, 0, 0.0));
         t.push_row(vec![
             w.name.clone(),
             r.1.to_string(),
@@ -126,7 +128,11 @@ pub fn table2(wls: &[Workload]) -> Table {
     }
     let mut row = vec!["Maximum run time".to_string()];
     for w in wls {
-        row.push(if w.records_max_runtime() { "Y".into() } else { "".into() });
+        row.push(if w.records_max_runtime() {
+            "Y".into()
+        } else {
+            "".into()
+        });
     }
     t.push_row(row);
     t

@@ -2,8 +2,10 @@
 //! Tables 10–15): drive LWF or backfill with a run-time predictor and
 //! measure utilization and mean wait time.
 
-use qpredict_predict::{ErrorStats, RunTimePredictor};
-use qpredict_sim::{Algorithm, Metrics, Simulation};
+use qpredict_predict::{DegradationCounts, ErrorStats, RunTimePredictor};
+use qpredict_sim::{
+    Algorithm, FaultCounts, FaultPlan, FaultReport, FaultyEstimator, Metrics, Simulation,
+};
 use qpredict_workload::Workload;
 
 use crate::adapter::PredictorEstimator;
@@ -25,21 +27,64 @@ pub struct SchedulingOutcome {
     pub runtime_errors: ErrorStats,
     /// How many estimates came from the predictor's fallback path.
     pub fallback_estimates: u64,
+    /// Per-tier degradation accounting, present when the predictor is a
+    /// fallback chain ([`PredictorKind::Fallback`]).
+    pub degradations: Option<DegradationCounts>,
+    /// Fault-injection accounting, present when the run was driven by a
+    /// [`FaultPlan`] (see [`run_scheduling_with`]).
+    pub faults: Option<FaultSummary>,
+}
+
+/// What a fault-injected run actually did to its inputs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Trace-level mutations (cancelled / failed / delayed jobs).
+    pub trace: FaultReport,
+    /// Prediction corruptions (scaled / inverted / dropped estimates).
+    pub estimates: FaultCounts,
 }
 
 /// Schedule `wl` under `alg` using `kind` for run-time estimates.
 pub fn run_scheduling(wl: &Workload, alg: Algorithm, kind: PredictorKind) -> SchedulingOutcome {
-    let predictor = kind.build(wl);
+    run_scheduling_with(wl, alg, kind, None)
+}
+
+/// Like [`run_scheduling`], optionally injecting faults: trace faults
+/// mutate a copy of the workload before the run, prediction faults wrap
+/// the estimator in a [`FaultyEstimator`]. With `faults` of `None` this
+/// is exactly `run_scheduling`. Deterministic in `FaultPlan::seed`.
+pub fn run_scheduling_with(
+    wl: &Workload,
+    alg: Algorithm,
+    kind: PredictorKind,
+    faults: Option<&FaultPlan>,
+) -> SchedulingOutcome {
+    let (faulted, trace_report) = match faults {
+        Some(plan) if plan.has_trace_faults() => {
+            let (w, r) = plan.apply_to_workload(wl);
+            (Some(w), r)
+        }
+        _ => (None, FaultReport::default()),
+    };
+    let wl_run = faulted.as_ref().unwrap_or(wl);
+    let predictor = kind.build(wl_run);
     let predictor_name = predictor.name();
-    let mut est = PredictorEstimator::new(predictor);
-    let result = Simulation::run(wl, alg, &mut est);
+    let inner = PredictorEstimator::new(predictor);
+    let mut est = FaultyEstimator::new(inner, faults.cloned().unwrap_or_else(|| FaultPlan::new(0)));
+    let result = Simulation::run(wl_run, alg, &mut est);
+    let (inner, est_counts) = est.into_parts();
     SchedulingOutcome {
         workload: wl.name.clone(),
         algorithm: alg,
         predictor: predictor_name,
         metrics: result.metrics,
-        runtime_errors: *est.errors(),
-        fallback_estimates: est.fallback_count(),
+        runtime_errors: *inner.errors(),
+        fallback_estimates: inner.fallback_count(),
+        degradations: inner.degradations(),
+        faults: faults.map(|_| FaultSummary {
+            trace: trace_report,
+            estimates: est_counts,
+        }),
     }
 }
 
@@ -72,14 +117,15 @@ mod tests {
             PredictorKind::MaxRuntime,
             PredictorKind::Smith,
         ] {
-            utils.push(run_scheduling(&wl, Algorithm::Backfill, kind).metrics.utilization);
+            utils.push(
+                run_scheduling(&wl, Algorithm::Backfill, kind)
+                    .metrics
+                    .utilization,
+            );
         }
         let max = utils.iter().cloned().fold(f64::MIN, f64::max);
         let min = utils.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(
-            max - min < 0.05,
-            "utilization spread too large: {utils:?}"
-        );
+        assert!(max - min < 0.05, "utilization spread too large: {utils:?}");
     }
 
     #[test]
@@ -120,6 +166,45 @@ mod tests {
                 assert!(out.metrics.utilization > 0.0 && out.metrics.utilization <= 1.0);
             }
         }
+    }
+
+    #[test]
+    fn fallback_chain_schedules_and_reports_degradations() {
+        let wl = toy(200, 16, 36);
+        let out = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Fallback);
+        assert_eq!(out.metrics.n_jobs, 200);
+        let d = out
+            .degradations
+            .expect("fallback kind reports degradations");
+        assert!(d.degradations > 0, "cold start must degrade at least once");
+        assert_eq!(d.total_served(), out.runtime_errors.count());
+        // Plain predictors report no chain accounting.
+        let plain = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
+        assert!(plain.degradations.is_none());
+    }
+
+    #[test]
+    fn fault_injected_runs_are_seed_deterministic() {
+        use qpredict_sim::FaultPlan;
+        let wl = toy(200, 16, 37);
+        let plan = FaultPlan {
+            cancel_prob: 0.05,
+            fail_prob: 0.05,
+            delay_prob: 0.1,
+            ..FaultPlan::pred_noise(1234, 0.2)
+        };
+        let a = run_scheduling_with(&wl, Algorithm::Backfill, PredictorKind::Smith, Some(&plan));
+        let b = run_scheduling_with(&wl, Algorithm::Backfill, PredictorKind::Smith, Some(&plan));
+        assert_eq!(a.metrics.mean_wait, b.metrics.mean_wait);
+        assert_eq!(a.metrics.utilization, b.metrics.utilization);
+        let fa = a.faults.expect("fault summary present");
+        assert_eq!(Some(fa), b.faults);
+        assert!(fa.trace.total() > 0, "trace faults must fire");
+        assert!(fa.estimates.total() > 0, "prediction faults must fire");
+        // Without a plan, no summary and a clean schedule.
+        let clean = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
+        assert!(clean.faults.is_none());
+        assert_ne!(clean.metrics.mean_wait, a.metrics.mean_wait);
     }
 
     #[test]

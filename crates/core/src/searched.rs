@@ -120,16 +120,24 @@ fn ctc_set() -> TemplateSet {
             .with_node_range(5)
             .with_max_history(8)
             .relative(),
-        Template::mean_over(&[C::Queue, C::User, C::Script, C::Arguments, C::NetworkAdaptor])
-            .with_estimator(EstimatorKind::LogRegression)
-            .with_node_range(5)
-            .with_max_history(32768)
-            .relative()
-            .with_rtime(),
+        Template::mean_over(&[
+            C::Queue,
+            C::User,
+            C::Script,
+            C::Arguments,
+            C::NetworkAdaptor,
+        ])
+        .with_estimator(EstimatorKind::LogRegression)
+        .with_node_range(5)
+        .with_max_history(32768)
+        .relative()
+        .with_rtime(),
         Template::mean_over(&[C::Type, C::Executable, C::Arguments])
             .relative()
             .with_rtime(),
-        Template::mean_over(&[C::User]).with_node_range(7).relative(),
+        Template::mean_over(&[C::User])
+            .with_node_range(7)
+            .relative(),
         Template::mean_over(&[C::Type, C::Queue, C::User]).with_node_range(3),
     ])
 }
@@ -199,10 +207,16 @@ fn curated_anl() -> TemplateSet {
             .relative()
             .with_max_history(512),
         Template::mean_over(&[C::Type, C::User]).with_max_history(128),
-        Template::mean_over(&[C::User]).relative().with_max_history(128),
+        Template::mean_over(&[C::User])
+            .relative()
+            .with_max_history(128),
         Template::mean_over(&[C::Executable]).with_node_range(3),
-        Template::mean_over(&[C::Type]).with_node_range(5).with_rtime(),
-        Template::mean_over(&[]).with_node_range(4).with_max_history(256),
+        Template::mean_over(&[C::Type])
+            .with_node_range(5)
+            .with_rtime(),
+        Template::mean_over(&[])
+            .with_node_range(4)
+            .with_max_history(256),
     ])
 }
 
@@ -212,13 +226,17 @@ fn curated_ctc() -> TemplateSet {
         Template::mean_over(&[C::User, C::Script]).with_node_range(1),
         Template::mean_over(&[C::User, C::Script]).relative(),
         Template::mean_over(&[C::User, C::Type, C::Class]).with_node_range(3),
-        Template::mean_over(&[C::User]).relative().with_max_history(256),
+        Template::mean_over(&[C::User])
+            .relative()
+            .with_max_history(256),
         Template::mean_over(&[C::User])
             .with_node_range(4)
             .with_max_history(256),
         Template::mean_over(&[C::Type, C::NetworkAdaptor]).with_rtime(),
         Template::mean_over(&[C::Type]).with_node_range(5),
-        Template::mean_over(&[]).with_node_range(4).with_max_history(512),
+        Template::mean_over(&[])
+            .with_node_range(4)
+            .with_max_history(512),
     ])
 }
 
@@ -232,7 +250,9 @@ fn curated_sdsc() -> TemplateSet {
             .with_max_history(256),
         Template::mean_over(&[C::Queue]).with_rtime(),
         Template::mean_over(&[C::Queue]).with_node_range(4),
-        Template::mean_over(&[]).with_node_range(4).with_max_history(512),
+        Template::mean_over(&[])
+            .with_node_range(4)
+            .with_max_history(512),
     ])
 }
 

@@ -18,11 +18,7 @@ pub struct Table {
 
 impl Table {
     /// Create an empty table.
-    pub fn new(
-        id: impl Into<String>,
-        title: impl Into<String>,
-        columns: &[&str],
-    ) -> Table {
+    pub fn new(id: impl Into<String>, title: impl Into<String>, columns: &[&str]) -> Table {
         Table {
             id: id.into(),
             title: title.into(),

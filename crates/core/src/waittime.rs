@@ -132,8 +132,8 @@ fn run_wait_prediction_with(
 
     let mut wait_errors = ErrorStats::new();
     for outcome in &result.outcomes {
-        let predicted = study.predicted_wait[outcome.id.index()]
-            .expect("every submission was forecast");
+        let predicted =
+            study.predicted_wait[outcome.id.index()].expect("every submission was forecast");
         wait_errors.record(predicted, outcome.wait());
     }
     WaitPredictionOutcome {
@@ -218,8 +218,7 @@ mod tests {
         let warm = run_wait_prediction_warm(&wl, Algorithm::Fcfs, PredictorKind::Smith, 300);
         assert_eq!(warm.wait_errors.count(), 300);
         assert!(
-            warm.runtime_errors.mean_abs_error_min()
-                < cold.runtime_errors.mean_abs_error_min(),
+            warm.runtime_errors.mean_abs_error_min() < cold.runtime_errors.mean_abs_error_min(),
             "warm {:.2} should beat cold {:.2}",
             warm.runtime_errors.mean_abs_error_min(),
             cold.runtime_errors.mean_abs_error_min()
@@ -234,8 +233,7 @@ mod tests {
         // run times' on a history-rich workload.
         let maxrt = run_wait_prediction(&wl, Algorithm::Fcfs, PredictorKind::MaxRuntime);
         assert!(
-            out.runtime_errors.mean_abs_error_min()
-                < maxrt.runtime_errors.mean_abs_error_min(),
+            out.runtime_errors.mean_abs_error_min() < maxrt.runtime_errors.mean_abs_error_min(),
             "smith rt err {:.2} vs maxrt {:.2}",
             out.runtime_errors.mean_abs_error_min(),
             maxrt.runtime_errors.mean_abs_error_min()

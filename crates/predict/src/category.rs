@@ -222,15 +222,11 @@ mod tests {
         store.insert(&set, &j);
         assert_eq!(store.category_count(), 2);
         assert_eq!(
-            store
-                .history(0, &set.templates()[0], &j)
-                .map(|h| h.len()),
+            store.history(0, &set.templates()[0], &j).map(|h| h.len()),
             Some(1)
         );
         assert_eq!(
-            store
-                .history(1, &set.templates()[1], &j)
-                .map(|h| h.len()),
+            store.history(1, &set.templates()[1], &j).map(|h| h.len()),
             Some(1)
         );
     }

@@ -291,11 +291,7 @@ mod tests {
         let cat = p.categories.get_mut(&Some(syms.intern("batch"))).unwrap();
         let m = cat.fit().unwrap();
         assert!((m.beta1 - 1.0 / 6.0).abs() < 0.02, "beta1 {}", m.beta1);
-        assert!(
-            (m.tmax.ln() - 8.0).abs() < 0.5,
-            "ln tmax {}",
-            m.tmax.ln()
-        );
+        assert!((m.tmax.ln() - 8.0).abs() < 0.5, "ln tmax {}", m.tmax.ln());
     }
 
     #[test]
@@ -305,10 +301,7 @@ mod tests {
         // sqrt(1 * tmax) = sqrt(e^8) = e^4 ~ 54.6 s
         let want = (8.0f64 / 2.0).exp();
         let got = pred.estimate.as_secs_f64();
-        assert!(
-            (got - want).abs() / want < 0.25,
-            "got {got}, want ~{want}"
-        );
+        assert!((got - want).abs() / want < 0.25, "got {got}, want ~{want}");
     }
 
     #[test]
@@ -328,10 +321,7 @@ mod tests {
         let m = p.categories.get_mut(&Some(q)).unwrap().fit().unwrap();
         let want = (m.tmax - a) / (m.tmax.ln() - a.ln());
         let got = pred.estimate.as_secs_f64();
-        assert!(
-            (got - want).abs() <= 1.0,
-            "got {got}, want {want}"
-        );
+        assert!((got - want).abs() <= 1.0, "got {got}, want {want}");
     }
 
     #[test]
@@ -377,7 +367,10 @@ mod tests {
     #[test]
     fn queues_are_separate_categories() {
         let mut syms = SymbolTable::new();
-        let mut p = DowneyPredictor::new(DowneyVariant::ConditionalMedian, Some(Characteristic::Queue));
+        let mut p = DowneyPredictor::new(
+            DowneyVariant::ConditionalMedian,
+            Some(Characteristic::Queue),
+        );
         for _ in 0..10 {
             p.on_complete(&qjob(&mut syms, "short", 10));
             p.on_complete(&qjob(&mut syms, "long", 10_000));
@@ -388,7 +381,10 @@ mod tests {
         // the fit fails (no spread) and falls back to the *global* model,
         // so instead give each queue a little spread:
         let _ = (ps, pl);
-        let mut p = DowneyPredictor::new(DowneyVariant::ConditionalMedian, Some(Characteristic::Queue));
+        let mut p = DowneyPredictor::new(
+            DowneyVariant::ConditionalMedian,
+            Some(Characteristic::Queue),
+        );
         for i in 0..20 {
             p.on_complete(&qjob(&mut syms, "short", 5 + i));
             p.on_complete(&qjob(&mut syms, "long", 5000 + 100 * i));
@@ -400,8 +396,7 @@ mod tests {
 
     #[test]
     fn for_workload_picks_best_characteristic() {
-        let w = qpredict_workload::synthetic::sdsc95()
-            .truncated(50);
+        let w = qpredict_workload::synthetic::sdsc95().truncated(50);
         let p = DowneyPredictor::for_workload(DowneyVariant::ConditionalMedian, &w);
         assert_eq!(p.category_characteristic(), Some(Characteristic::Queue));
 

@@ -164,7 +164,10 @@ pub fn weighted_linear(
     }
     let xbar: f64 = pts.iter().map(|&(x, _, w)| w * x).sum();
     let ybar: f64 = pts.iter().map(|&(_, y, w)| w * y).sum();
-    let sxx: f64 = pts.iter().map(|&(x, _, w)| w * (x - xbar) * (x - xbar)).sum();
+    let sxx: f64 = pts
+        .iter()
+        .map(|&(x, _, w)| w * (x - xbar) * (x - xbar))
+        .sum();
     if sxx < 1e-9 {
         return Some(Estimate {
             value: ybar,
@@ -172,7 +175,10 @@ pub fn weighted_linear(
             n: pts.len(),
         });
     }
-    let sxy: f64 = pts.iter().map(|&(x, y, w)| w * (x - xbar) * (y - ybar)).sum();
+    let sxy: f64 = pts
+        .iter()
+        .map(|&(x, y, w)| w * (x - xbar) * (y - ybar))
+        .sum();
     let b = sxy / sxx;
     let a = ybar - b * xbar;
     let value = a + b * x0;
@@ -242,7 +248,11 @@ mod tests {
     #[test]
     fn log_regression() {
         // y = 1 + 2 ln x
-        let pts = [(1.0, 1.0), (std::f64::consts::E, 3.0), (std::f64::consts::E.powi(2), 5.0)];
+        let pts = [
+            (1.0, 1.0),
+            (std::f64::consts::E, 3.0),
+            (std::f64::consts::E.powi(2), 5.0),
+        ];
         let e = regression(RegressionKind::Logarithmic, pts.iter().copied(), 1.0).unwrap();
         assert!((e.value - 1.0).abs() < 1e-9);
     }

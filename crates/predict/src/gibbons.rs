@@ -346,7 +346,10 @@ mod tests {
     fn missing_characteristics_pool_as_unknown() {
         let mut p = GibbonsPredictor::new();
         let anon = |nodes: u32, rt: i64| {
-            JobBuilder::new().nodes(nodes).runtime(Dur(rt)).build(JobId(0))
+            JobBuilder::new()
+                .nodes(nodes)
+                .runtime(Dur(rt))
+                .build(JobId(0))
         };
         p.on_complete(&anon(4, 100));
         p.on_complete(&anon(4, 300));
@@ -369,7 +372,10 @@ mod tests {
         let mut p = GibbonsPredictor::new();
         p.on_complete(&job(&mut syms, "a", "x", 4, 100));
         p.reset();
-        assert!(p.predict(&job(&mut syms, "a", "x", 4, 1), Dur::ZERO).fallback);
+        assert!(
+            p.predict(&job(&mut syms, "a", "x", 4, 1), Dur::ZERO)
+                .fallback
+        );
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod category;
 pub mod downey;
 pub mod error;
 pub mod estimators;
+pub mod fallback;
 pub mod gibbons;
 pub mod smith;
 pub mod template;
@@ -35,6 +36,7 @@ pub mod template;
 pub use baseline::{MaxRuntimePredictor, OraclePredictor};
 pub use downey::{DowneyPredictor, DowneyVariant};
 pub use error::ErrorStats;
+pub use fallback::{DegradationCounts, FallbackPredictor};
 pub use gibbons::GibbonsPredictor;
 pub use smith::SmithPredictor;
 pub use template::{CharSet, EstimatorKind, Template, TemplateSet};
@@ -73,6 +75,31 @@ impl Prediction {
     }
 }
 
+/// Why a predictor could not produce a confident prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredictError {
+    /// No category in the predictor's history matched the job. The
+    /// carried [`Prediction`] is the predictor's own last-ditch fallback
+    /// value, usable by a caller with nothing better.
+    NoMatchingHistory(Prediction),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NoMatchingHistory(p) => {
+                write!(
+                    f,
+                    "no matching history (fallback estimate {:?})",
+                    p.estimate
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
 /// A run-time predictor: produces predictions on demand and learns from
 /// completed jobs.
 pub trait RunTimePredictor {
@@ -86,11 +113,31 @@ pub trait RunTimePredictor {
     /// at least `elapsed + 1`.
     fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction;
 
+    /// Fallible variant of [`predict`](RunTimePredictor::predict):
+    /// returns `Err` instead of a silently degraded estimate, so callers
+    /// (notably [`FallbackPredictor`]) can try the next source in a
+    /// chain. The default treats any prediction marked `fallback` as a
+    /// failure and carries it in the error.
+    fn try_predict(&mut self, job: &Job, elapsed: Dur) -> Result<Prediction, PredictError> {
+        let p = self.predict(job, elapsed);
+        if p.fallback {
+            Err(PredictError::NoMatchingHistory(p))
+        } else {
+            Ok(p)
+        }
+    }
+
     /// Incorporate a completed job into the predictor's history.
     fn on_complete(&mut self, job: &Job);
 
     /// Discard all accumulated history.
     fn reset(&mut self);
+
+    /// Degradation accounting, for predictors that chain multiple
+    /// sources ([`FallbackPredictor`]). `None` for simple predictors.
+    fn degradations(&self) -> Option<DegradationCounts> {
+        None
+    }
 }
 
 #[cfg(test)]

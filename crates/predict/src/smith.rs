@@ -106,7 +106,10 @@ impl SmithPredictor {
             None => mean(history.iter().filter(filter).map(&value_of)),
             Some(kind) => regression(
                 kind,
-                history.iter().filter(filter).map(|p| (p.nodes, value_of(p))),
+                history
+                    .iter()
+                    .filter(filter)
+                    .map(|p| (p.nodes, value_of(p))),
                 job.nodes as f64,
             ),
         }?;
@@ -159,12 +162,15 @@ impl RunTimePredictor for SmithPredictor {
             };
             let better = match best {
                 None => true,
-                Some((bci, bn, bspec, bti, _)) => {
-                    (est.ci, std::cmp::Reverse(est.n), std::cmp::Reverse(t.specificity()), ti)
-                        .partial_cmp(&(bci, std::cmp::Reverse(bn), std::cmp::Reverse(bspec), bti))
-                        .map(|o| o == std::cmp::Ordering::Less)
-                        .unwrap_or(false)
-                }
+                Some((bci, bn, bspec, bti, _)) => (
+                    est.ci,
+                    std::cmp::Reverse(est.n),
+                    std::cmp::Reverse(t.specificity()),
+                    ti,
+                )
+                    .partial_cmp(&(bci, std::cmp::Reverse(bn), std::cmp::Reverse(bspec), bti))
+                    .map(|o| o == std::cmp::Ordering::Less)
+                    .unwrap_or(false),
             };
             if better {
                 best = Some((est.ci, est.n, t.specificity(), ti, est.value));
@@ -281,9 +287,7 @@ mod tests {
     #[test]
     fn relative_template_scales_by_limit() {
         let mut syms = SymbolTable::new();
-        let set = TemplateSet::new(vec![
-            Template::mean_over(&[Characteristic::User]).relative()
-        ]);
+        let set = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User]).relative()]);
         let mut p = SmithPredictor::new(set);
         let u = syms.intern("alice");
         // Alice uses 50% of her limit, twice.
@@ -319,8 +323,8 @@ mod tests {
         // Queued job: mean of all five.
         let queued = p.predict(&job(&mut syms, "alice", 1), Dur::ZERO);
         assert_eq!(queued.estimate, Dur(1008)); // (40 + 5000)/5
-        // Job already running 60 s: the four 10-second points are
-        // impossible; predict from the 5000 s point alone.
+                                                // Job already running 60 s: the four 10-second points are
+                                                // impossible; predict from the 5000 s point alone.
         let running = p.predict(&job(&mut syms, "alice", 1), Dur(60));
         assert_eq!(running.estimate, Dur(5000));
     }
@@ -353,8 +357,9 @@ mod tests {
 
     #[test]
     fn regression_template_tracks_node_scaling() {
-        let set = TemplateSet::new(vec![Template::mean_over(&[])
-            .with_estimator(EstimatorKind::LinearRegression)]);
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[]).with_estimator(EstimatorKind::LinearRegression)
+        ]);
         let mut p = SmithPredictor::new(set);
         for (n, rt) in [(1, 100), (2, 200), (4, 400), (8, 800)] {
             let j = JobBuilder::new().nodes(n).runtime(Dur(rt)).build(JobId(0));
@@ -368,8 +373,9 @@ mod tests {
 
     #[test]
     fn regression_extrapolation_is_capped() {
-        let set = TemplateSet::new(vec![Template::mean_over(&[])
-            .with_estimator(EstimatorKind::LinearRegression)]);
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[]).with_estimator(EstimatorKind::LinearRegression)
+        ]);
         let mut p = SmithPredictor::new(set);
         for (n, rt) in [(1, 600), (2, 1200), (4, 2400)] {
             let j = JobBuilder::new().nodes(n).runtime(Dur(rt)).build(JobId(0));

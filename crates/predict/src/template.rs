@@ -187,8 +187,7 @@ impl Template {
     /// The node bucket `job` falls into under this template's range size
     /// (`None` when node counts are ignored).
     pub fn node_bucket(&self, job: &Job) -> Option<u32> {
-        self.node_range_log2
-            .map(|k| (job.nodes.max(1) - 1) >> k)
+        self.node_range_log2.map(|k| (job.nodes.max(1) - 1) >> k)
     }
 
     /// Specificity: how many constraints the template imposes. Used only
@@ -200,8 +199,7 @@ impl Template {
 
 impl fmt::Display for Template {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let mut parts: Vec<String> =
-            self.chars.iter().map(|c| c.abbrev().to_string()).collect();
+        let mut parts: Vec<String> = self.chars.iter().map(|c| c.abbrev().to_string()).collect();
         if let Some(k) = self.node_range_log2 {
             parts.push(format!("n={}", 1u32 << k));
         }
@@ -263,10 +261,7 @@ impl TemplateSet {
     /// characteristics: progressively coarser user/identity templates
     /// with small node ranges, plus relative variants when limits exist.
     /// This is the starting point when no genetic search has been run.
-    pub fn default_for(
-        recorded: &[Characteristic],
-        has_max_runtimes: bool,
-    ) -> TemplateSet {
+    pub fn default_for(recorded: &[Characteristic], has_max_runtimes: bool) -> TemplateSet {
         use Characteristic as C;
         let rec = |c: C| recorded.contains(&c);
         let mut ts: Vec<Template> = Vec::new();
@@ -292,7 +287,11 @@ impl TemplateSet {
         if rec(C::User) {
             ts.push(Template::mean_over(&[C::User]).with_max_history(128));
             if has_max_runtimes {
-                ts.push(Template::mean_over(&[C::User]).relative().with_max_history(128));
+                ts.push(
+                    Template::mean_over(&[C::User])
+                        .relative()
+                        .with_max_history(128),
+                );
             }
         }
         if rec(C::Queue) {
@@ -301,7 +300,11 @@ impl TemplateSet {
         if rec(C::Executable) {
             ts.push(Template::mean_over(&[C::Executable]));
         }
-        ts.push(Template::mean_over(&[]).with_node_range(5).with_max_history(256));
+        ts.push(
+            Template::mean_over(&[])
+                .with_node_range(5)
+                .with_max_history(256),
+        );
         ts.truncate(MAX_TEMPLATES);
         TemplateSet::new(ts)
     }

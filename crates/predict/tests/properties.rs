@@ -1,12 +1,13 @@
-//! Property-based tests over the predictor stack.
-
-use proptest::prelude::*;
+//! Randomized tests over the predictor stack.
+//!
+//! Deterministic seeded loops stand in for an external property-testing
+//! harness: the workspace must build offline with no crates beyond std.
 
 use qpredict_predict::{
     estimators, CharSet, DowneyPredictor, DowneyVariant, GibbonsPredictor, Prediction,
     RunTimePredictor, SmithPredictor, Template, TemplateSet,
 };
-use qpredict_workload::{Characteristic, Dur, Job, JobBuilder, JobId, SymbolTable};
+use qpredict_workload::{Characteristic, Dur, Job, JobBuilder, JobId, Rng64, SymbolTable};
 
 fn job(syms: &mut SymbolTable, user: u8, exe: u8, nodes: u32, rt: i64) -> Job {
     let u = syms.intern(&format!("u{user}"));
@@ -25,74 +26,98 @@ fn check_sane(p: Prediction, elapsed: i64) {
     assert!(p.estimate.seconds() >= 1);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The sample mean with CI matches the moments-based fast path on
-    /// any sample.
-    #[test]
-    fn mean_paths_agree(xs in proptest::collection::vec(0.1f64..1e6, 1..60)) {
+/// The sample mean with CI matches the moments-based fast path on any
+/// sample.
+#[test]
+fn mean_paths_agree() {
+    for seed in 0u64..48 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..1 + rng.gen_index(59))
+            .map(|_| rng.gen_range_f64(0.1, 1e6))
+            .collect();
         let slow = estimators::mean(xs.iter().copied()).unwrap();
         let (n, s, s2) = xs.iter().fold((0usize, 0.0, 0.0), |(n, s, s2), &x| {
             (n + 1, s + x, s2 + x * x)
         });
         let fast = estimators::mean_from_moments(n, s, s2).unwrap();
-        prop_assert!((slow.value - fast.value).abs() < 1e-6 * slow.value.abs().max(1.0));
+        assert!(
+            (slow.value - fast.value).abs() < 1e-6 * slow.value.abs().max(1.0),
+            "seed {seed}"
+        );
         if slow.ci.is_finite() {
-            prop_assert!((slow.ci - fast.ci).abs() < 1e-6 * slow.ci.abs().max(1.0));
+            assert!(
+                (slow.ci - fast.ci).abs() < 1e-6 * slow.ci.abs().max(1.0),
+                "seed {seed}"
+            );
         } else {
-            prop_assert!(fast.ci.is_infinite());
+            assert!(fast.ci.is_infinite(), "seed {seed}");
         }
     }
+}
 
-    /// The mean's confidence interval shrinks (weakly) as identical
-    /// batches of data accumulate.
-    #[test]
-    fn ci_shrinks_with_replication(
-        xs in proptest::collection::vec(1.0f64..1e4, 3..10),
-        reps in 2usize..6,
-    ) {
+/// The mean's confidence interval shrinks (weakly) as identical batches
+/// of data accumulate.
+#[test]
+fn ci_shrinks_with_replication() {
+    for seed in 0u64..48 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let xs: Vec<f64> = (0..3 + rng.gen_index(7))
+            .map(|_| rng.gen_range_f64(1.0, 1e4))
+            .collect();
+        let reps = 2 + rng.gen_index(4);
         let small = estimators::mean(xs.iter().copied()).unwrap();
         let big_data: Vec<f64> = std::iter::repeat_n(xs.clone(), reps).flatten().collect();
         let big = estimators::mean(big_data.iter().copied()).unwrap();
-        prop_assert!(big.ci <= small.ci + 1e-9,
-            "ci grew from {} to {} after replication", small.ci, big.ci);
+        assert!(
+            big.ci <= small.ci + 1e-9,
+            "seed {seed}: ci grew from {} to {} after replication",
+            small.ci,
+            big.ci
+        );
     }
+}
 
-    /// A noiseless linear relation is recovered exactly wherever it is
-    /// evaluated, for every regression family applied to its own data.
-    #[test]
-    fn regressions_interpolate_their_family(
-        a in -100.0f64..100.0,
-        b in -100.0f64..100.0,
-        x0 in 1.0f64..64.0,
-    ) {
-        use qpredict_predict::estimators::{regression, RegressionKind};
-        for kind in [RegressionKind::Linear, RegressionKind::Inverse, RegressionKind::Logarithmic] {
+/// A noiseless linear relation is recovered exactly wherever it is
+/// evaluated, for every regression family applied to its own data.
+#[test]
+fn regressions_interpolate_their_family() {
+    use qpredict_predict::estimators::{regression, RegressionKind};
+    for seed in 0u64..48 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let a = rng.gen_range_f64(-100.0, 100.0);
+        let b = rng.gen_range_f64(-100.0, 100.0);
+        let x0 = rng.gen_range_f64(1.0, 64.0);
+        for kind in [
+            RegressionKind::Linear,
+            RegressionKind::Inverse,
+            RegressionKind::Logarithmic,
+        ] {
             let g = |x: f64| match kind {
                 RegressionKind::Linear => x,
                 RegressionKind::Inverse => 1.0 / x,
                 RegressionKind::Logarithmic => x.ln(),
             };
-            let pts: Vec<(f64, f64)> =
-                [1.0, 2.0, 4.0, 8.0, 16.0].iter().map(|&x| (x, a + b * g(x))).collect();
+            let pts: Vec<(f64, f64)> = [1.0, 2.0, 4.0, 8.0, 16.0]
+                .iter()
+                .map(|&x| (x, a + b * g(x)))
+                .collect();
             let est = regression(kind, pts.iter().copied(), x0).unwrap();
             let want = a + b * g(x0);
-            prop_assert!((est.value - want).abs() < 1e-6 * want.abs().max(1.0),
-                "{kind:?}: {} vs {want}", est.value);
+            assert!(
+                (est.value - want).abs() < 1e-6 * want.abs().max(1.0),
+                "seed {seed} {kind:?}: {} vs {want}",
+                est.value
+            );
         }
     }
+}
 
-    /// Every predictor returns sane predictions whatever the (valid)
-    /// history and query, and all are deterministic.
-    #[test]
-    fn predictors_always_sane(
-        history in proptest::collection::vec((0u8..4, 0u8..4, 1u32..64, 1i64..50_000), 0..40),
-        quser in 0u8..4,
-        qexe in 0u8..4,
-        qnodes in 1u32..64,
-        elapsed in 0i64..100_000,
-    ) {
+/// Every predictor returns sane predictions whatever the (valid) history
+/// and query, and all are deterministic.
+#[test]
+fn predictors_always_sane() {
+    for seed in 0u64..48 {
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut syms = SymbolTable::new();
         let set = TemplateSet::new(vec![
             Template::mean_over(&[Characteristic::User, Characteristic::Executable]),
@@ -102,12 +127,19 @@ proptest! {
         let mut smith = SmithPredictor::new(set);
         let mut gibbons = GibbonsPredictor::new();
         let mut downey = DowneyPredictor::new(DowneyVariant::ConditionalMedian, None);
-        for &(u, e, n, rt) in &history {
+        for _ in 0..rng.gen_index(40) {
+            let (u, e) = (rng.gen_index(4) as u8, rng.gen_index(4) as u8);
+            let n = 1 + rng.gen_index(63) as u32;
+            let rt = rng.gen_range_i64(1, 49_999);
             let j = job(&mut syms, u, e, n, rt);
             smith.on_complete(&j);
             gibbons.on_complete(&j);
             downey.on_complete(&j);
         }
+        let quser = rng.gen_index(4) as u8;
+        let qexe = rng.gen_index(4) as u8;
+        let qnodes = 1 + rng.gen_index(63) as u32;
+        let elapsed = rng.gen_range_i64(0, 99_999);
         let q = job(&mut syms, quser, qexe, qnodes, 1234);
         for p in [
             smith.predict(&q, Dur(elapsed)),
@@ -117,16 +149,26 @@ proptest! {
             check_sane(p, elapsed);
         }
         // Determinism of repeated queries.
-        prop_assert_eq!(smith.predict(&q, Dur(elapsed)), smith.predict(&q, Dur(elapsed)));
-        prop_assert_eq!(gibbons.predict(&q, Dur(elapsed)), gibbons.predict(&q, Dur(elapsed)));
+        assert_eq!(
+            smith.predict(&q, Dur(elapsed)),
+            smith.predict(&q, Dur(elapsed))
+        );
+        assert_eq!(
+            gibbons.predict(&q, Dur(elapsed)),
+            gibbons.predict(&q, Dur(elapsed))
+        );
     }
+}
 
-    /// Smith with a single exact-identity template converges to the true
-    /// per-identity mean.
-    #[test]
-    fn smith_converges_to_group_mean(
-        rts in proptest::collection::vec(10i64..10_000, 2..30),
-    ) {
+/// Smith with a single exact-identity template converges to the true
+/// per-identity mean.
+#[test]
+fn smith_converges_to_group_mean() {
+    for seed in 0u64..48 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let rts: Vec<i64> = (0..2 + rng.gen_index(28))
+            .map(|_| rng.gen_range_i64(10, 9_999))
+            .collect();
         let mut syms = SymbolTable::new();
         let set = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
         let mut p = SmithPredictor::new(set);
@@ -136,40 +178,54 @@ proptest! {
         let q = job(&mut syms, 1, 1, 4, 1);
         let pred = p.predict(&q, Dur::ZERO);
         let mean = rts.iter().sum::<i64>() as f64 / rts.len() as f64;
-        prop_assert!((pred.estimate.as_secs_f64() - mean).abs() <= 1.0,
-            "{} vs mean {mean}", pred.estimate.as_secs_f64());
+        assert!(
+            (pred.estimate.as_secs_f64() - mean).abs() <= 1.0,
+            "seed {seed}: {} vs mean {mean}",
+            pred.estimate.as_secs_f64()
+        );
     }
+}
 
-    /// History caps keep category sizes bounded no matter the insert
-    /// volume.
-    #[test]
-    fn capped_history_forgets(
-        n_inserts in 10usize..200,
-    ) {
+/// History caps keep category sizes bounded no matter the insert volume.
+#[test]
+fn capped_history_forgets() {
+    for seed in 0u64..24 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let n_inserts = 10 + rng.gen_index(190);
         let mut syms = SymbolTable::new();
         let set = TemplateSet::new(vec![
-            Template::mean_over(&[Characteristic::User]).with_max_history(8),
+            Template::mean_over(&[Characteristic::User]).with_max_history(8)
         ]);
         let mut p = SmithPredictor::new(set);
         // Feed a drifting signal: the prediction must track the recent
         // window, not the stale past.
         for i in 0..n_inserts {
-            let rt = if i < n_inserts - 8 { 100 } else { 9000 };
+            let rt = if i < n_inserts.saturating_sub(8) {
+                100
+            } else {
+                9000
+            };
             p.on_complete(&job(&mut syms, 1, 1, 4, rt));
         }
         let pred = p.predict(&job(&mut syms, 1, 1, 4, 1), Dur::ZERO);
-        prop_assert_eq!(pred.estimate, Dur(9000));
+        assert_eq!(
+            pred.estimate,
+            Dur(9000),
+            "seed {seed} n_inserts {n_inserts}"
+        );
     }
+}
 
-    /// CharSet operations behave like a set of at most 8 elements.
-    #[test]
-    fn charset_is_a_set(bits in 0u8..=255) {
-        let cs = CharSet(bits);
-        prop_assert_eq!(cs.len(), bits.count_ones());
+/// CharSet operations behave like a set of at most 8 elements.
+#[test]
+fn charset_is_a_set() {
+    for bits in 0u16..=255 {
+        let cs = CharSet(bits as u8);
+        assert_eq!(cs.len(), (bits as u8).count_ones());
         let collected: Vec<Characteristic> = cs.iter().collect();
-        prop_assert_eq!(collected.len() as u32, cs.len());
+        assert_eq!(collected.len() as u32, cs.len());
         for c in collected {
-            prop_assert!(cs.contains(c));
+            assert!(cs.contains(c));
         }
     }
 }

@@ -40,8 +40,9 @@ pub fn evaluate_many(
         return sets.iter().map(|s| evaluate(s, wl, pw)).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<parking_lot::Mutex<Option<ErrorStats>>> =
-        (0..sets.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<ErrorStats>>> = (0..sets.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
@@ -50,13 +51,17 @@ pub fn evaluate_many(
                     break;
                 }
                 let stats = evaluate(&sets[i], wl, pw);
-                *results[i].lock() = Some(stats);
+                *results[i].lock().expect("result slot poisoned") = Some(stats);
             });
         }
     });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("worker filled every slot"))
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
         .collect()
 }
 
@@ -79,8 +84,11 @@ mod tests {
     fn informative_templates_beat_uninformative() {
         let (wl, pw) = setup();
         let informative = TemplateSet::new(vec![
-            Template::mean_over(&[Characteristic::User, Characteristic::Executable,
-                                  Characteristic::Arguments]),
+            Template::mean_over(&[
+                Characteristic::User,
+                Characteristic::Executable,
+                Characteristic::Arguments,
+            ]),
             Template::mean_over(&[Characteristic::User, Characteristic::Executable]),
             Template::mean_over(&[Characteristic::User]),
         ]);

@@ -15,11 +15,8 @@
 //! * the best two individuals survive to the next generation unmutated
 //!   (elitism).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use qpredict_predict::TemplateSet;
-use qpredict_workload::Workload;
+use qpredict_workload::{Rng64, Workload};
 
 use crate::encoding::{decode, encode, Chromosome, BITS_PER_TEMPLATE};
 use crate::fitness::evaluate_many;
@@ -93,7 +90,7 @@ pub struct GaResult {
 /// Run the genetic search for a good template set over `pw`.
 pub fn search(wl: &Workload, pw: &PredictionWorkload, cfg: &GaConfig) -> GaResult {
     assert!(cfg.population >= 4, "population too small");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng64::seed_from_u64(cfg.seed);
     let mut population: Vec<Chromosome> = cfg.seeds.iter().map(encode).collect();
     population.truncate(cfg.population);
     while population.len() < cfg.population {
@@ -173,21 +170,21 @@ pub fn search(wl: &Workload, pw: &PredictionWorkload, cfg: &GaConfig) -> GaResul
 /// A random chromosome of 1–4 templates with characteristic bits set
 /// sparsely (dense masks rarely match anything and make the initial
 /// population uniformly useless).
-fn random_chromosome(rng: &mut StdRng) -> Chromosome {
-    let k = rng.gen_range(1..=4);
+fn random_chromosome(rng: &mut Rng64) -> Chromosome {
+    let k = 1 + rng.gen_index(4);
     let mut bits = Vec::with_capacity(k * BITS_PER_TEMPLATE);
     for _ in 0..k {
         for pos in 0..BITS_PER_TEMPLATE {
             let p = match pos {
-                0 | 1 => 0.15,      // estimator bits: mostly mean
-                2 => 0.3,           // relative
-                3 => 0.2,           // rtime
-                4..=11 => 0.3,      // characteristic enables
-                12 => 0.5,          // node enable
-                17 => 0.3,          // history enable
-                _ => 0.5,           // exponent bits
+                0 | 1 => 0.15, // estimator bits: mostly mean
+                2 => 0.3,      // relative
+                3 => 0.2,      // rtime
+                4..=11 => 0.3, // characteristic enables
+                12 => 0.5,     // node enable
+                17 => 0.3,     // history enable
+                _ => 0.5,      // exponent bits
             };
-            bits.push(rng.gen::<f64>() < p);
+            bits.push(rng.gen_f64() < p);
         }
     }
     bits
@@ -195,9 +192,9 @@ fn random_chromosome(rng: &mut StdRng) -> Chromosome {
 
 /// Roulette-wheel selection: pick index `i` with probability
 /// `F_i / sum(F)`.
-fn roulette(fitness: &[f64], rng: &mut StdRng) -> usize {
+fn roulette(fitness: &[f64], rng: &mut Rng64) -> usize {
     let total: f64 = fitness.iter().sum();
-    let mut x = rng.gen::<f64>() * total;
+    let mut x = rng.gen_f64() * total;
     for (i, &f) in fitness.iter().enumerate() {
         x -= f;
         if x <= 0.0 {
@@ -210,18 +207,18 @@ fn roulette(fitness: &[f64], rng: &mut StdRng) -> usize {
 /// The paper's variable-length crossover: pick template `i` and bit
 /// position `p` in the first parent and template `j` in the second, so
 /// that the spliced children stay within 10 templates.
-fn crossover(p1: &Chromosome, p2: &Chromosome, rng: &mut StdRng) -> (Chromosome, Chromosome) {
+fn crossover(p1: &Chromosome, p2: &Chromosome, rng: &mut Rng64) -> (Chromosome, Chromosome) {
     let n = p1.len() / BITS_PER_TEMPLATE;
     let m = p2.len() / BITS_PER_TEMPLATE;
     // child1 = t1[..i] + splice + t2[j+1..], len = i + (m - j)
     // child2 = t2[..j] + splice + t1[i+1..], len = j + (n - i)
     for _ in 0..64 {
-        let i = rng.gen_range(0..n);
-        let j = rng.gen_range(0..m);
+        let i = rng.gen_index(n);
+        let j = rng.gen_index(m);
         if i + (m - j) > 10 || j + (n - i) > 10 {
             continue;
         }
-        let p = rng.gen_range(0..BITS_PER_TEMPLATE);
+        let p = rng.gen_index(BITS_PER_TEMPLATE);
         let t1 = &p1[i * BITS_PER_TEMPLATE..(i + 1) * BITS_PER_TEMPLATE];
         let t2 = &p2[j * BITS_PER_TEMPLATE..(j + 1) * BITS_PER_TEMPLATE];
         let mut s1: Vec<bool> = t1[..p].to_vec();
@@ -242,9 +239,9 @@ fn crossover(p1: &Chromosome, p2: &Chromosome, rng: &mut StdRng) -> (Chromosome,
     (p1.clone(), p2.clone())
 }
 
-fn mutate(c: &mut Chromosome, rate: f64, rng: &mut StdRng) {
+fn mutate(c: &mut Chromosome, rate: f64, rng: &mut Rng64) {
     for b in c.iter_mut() {
-        if rng.gen::<f64>() < rate {
+        if rng.gen_f64() < rate {
             *b = !*b;
         }
     }
@@ -253,12 +250,8 @@ fn mutate(c: &mut Chromosome, rate: f64, rng: &mut StdRng) {
 /// Encode a seed template set into an initial population member (used by
 /// callers that want to warm-start the search from
 /// [`TemplateSet::default_for`]).
-pub fn seeded_population(
-    seeds: &[TemplateSet],
-    size: usize,
-    rng_seed: u64,
-) -> Vec<Chromosome> {
-    let mut rng = StdRng::seed_from_u64(rng_seed);
+pub fn seeded_population(seeds: &[TemplateSet], size: usize, rng_seed: u64) -> Vec<Chromosome> {
+    let mut rng = Rng64::seed_from_u64(rng_seed);
     let mut pop: Vec<Chromosome> = seeds.iter().map(encode).collect();
     while pop.len() < size {
         pop.push(random_chromosome(&mut rng));
@@ -276,12 +269,16 @@ mod tests {
 
     #[test]
     fn crossover_respects_template_cap() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng64::seed_from_u64(1);
         for _ in 0..200 {
-            let n = rng.gen_range(1..=10usize);
-            let m = rng.gen_range(1..=10usize);
-            let p1: Chromosome = (0..n * BITS_PER_TEMPLATE).map(|_| rng.gen()).collect();
-            let p2: Chromosome = (0..m * BITS_PER_TEMPLATE).map(|_| rng.gen()).collect();
+            let n = 1 + rng.gen_index(10);
+            let m = 1 + rng.gen_index(10);
+            let p1: Chromosome = (0..n * BITS_PER_TEMPLATE)
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
+            let p2: Chromosome = (0..m * BITS_PER_TEMPLATE)
+                .map(|_| rng.gen_bool(0.5))
+                .collect();
             let (c1, c2) = crossover(&p1, &p2, &mut rng);
             assert!(c1.len() / BITS_PER_TEMPLATE >= 1);
             assert!(c1.len() / BITS_PER_TEMPLATE <= 10);
@@ -292,7 +289,7 @@ mod tests {
 
     #[test]
     fn roulette_prefers_fitter() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng64::seed_from_u64(2);
         let fitness = [1.0, 4.0];
         let mut counts = [0usize; 2];
         for _ in 0..5000 {
@@ -304,8 +301,8 @@ mod tests {
 
     #[test]
     fn mutation_rate_zero_is_identity() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut c: Chromosome = (0..44).map(|_| rng.gen()).collect();
+        let mut rng = Rng64::seed_from_u64(3);
+        let mut c: Chromosome = (0..44).map(|_| rng.gen_bool(0.5)).collect();
         let before = c.clone();
         mutate(&mut c, 0.0, &mut rng);
         assert_eq!(c, before);

@@ -131,10 +131,8 @@ mod tests {
         let pool = candidate_pool(&wl);
         // toy records user/executable/arguments + limits
         assert!(pool.iter().any(|t| t.relative));
-        assert!(pool
-            .iter()
-            .any(|t| t.chars.contains(Characteristic::User)
-                && t.chars.contains(Characteristic::Executable)));
+        assert!(pool.iter().any(|t| t.chars.contains(Characteristic::User)
+            && t.chars.contains(Characteristic::Executable)));
         assert!(!pool.iter().any(|t| t.chars.contains(Characteristic::Queue)));
     }
 

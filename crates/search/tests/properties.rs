@@ -1,69 +1,77 @@
-//! Property-based tests for the chromosome encoding and search
-//! machinery.
-
-use proptest::prelude::*;
+//! Randomized tests for the chromosome encoding and search machinery.
+//!
+//! Deterministic seeded loops stand in for an external property-testing
+//! harness: the workspace must build offline with no crates beyond std.
 
 use qpredict_predict::{CharSet, EstimatorKind, Template, TemplateSet};
 use qpredict_search::{decode, encode, BITS_PER_TEMPLATE};
+use qpredict_workload::Rng64;
 
-/// Strategy: an arbitrary valid template.
-fn arb_template() -> impl Strategy<Value = Template> {
-    (
-        0u8..=255,          // charset bits
-        proptest::option::of(0u8..=9),
-        proptest::option::of(1u32..=16),
-        any::<bool>(),
-        any::<bool>(),
-        0usize..4,
-    )
-        .prop_map(|(chars, node, hist_exp, relative, use_rtime, est)| Template {
-            chars: CharSet(chars),
-            node_range_log2: node,
-            max_history: hist_exp.map(|e| 1u32 << e.clamp(1, 16)),
-            relative,
-            use_rtime,
-            estimator: EstimatorKind::ALL[est],
-        })
-}
-
-/// Strategy: a valid template set (1..=10 templates).
-fn arb_set() -> impl Strategy<Value = TemplateSet> {
-    proptest::collection::vec(arb_template(), 1..=10).prop_map(TemplateSet::new)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// encode/decode is the identity on every valid template set.
-    #[test]
-    fn encode_decode_roundtrip(set in arb_set()) {
-        let bits = encode(&set);
-        prop_assert_eq!(bits.len(), set.len() * BITS_PER_TEMPLATE);
-        let back = decode(&bits);
-        prop_assert_eq!(set, back);
+/// An arbitrary valid template.
+fn random_template(rng: &mut Rng64) -> Template {
+    Template {
+        chars: CharSet(rng.gen_index(256) as u8),
+        node_range_log2: if rng.gen_bool(0.5) {
+            Some(rng.gen_index(10) as u8)
+        } else {
+            None
+        },
+        max_history: if rng.gen_bool(0.5) {
+            Some(1u32 << (1 + rng.gen_index(16)))
+        } else {
+            None
+        },
+        relative: rng.gen_bool(0.5),
+        use_rtime: rng.gen_bool(0.5),
+        estimator: EstimatorKind::ALL[rng.gen_index(4)],
     }
+}
 
-    /// decode is total on well-shaped bit strings: any multiple of the
-    /// template width up to 10 templates decodes to a valid set, and
-    /// re-encoding it is stable (decode . encode . decode == decode).
-    #[test]
-    fn decode_is_total_and_stable(
-        bits in proptest::collection::vec(any::<bool>(), BITS_PER_TEMPLATE..=10 * BITS_PER_TEMPLATE),
-    ) {
-        let len = (bits.len() / BITS_PER_TEMPLATE) * BITS_PER_TEMPLATE;
-        let bits = &bits[..len];
-        let set = decode(bits);
-        prop_assert!(!set.is_empty() && set.len() <= 10);
+/// A valid template set (1..=10 templates).
+fn random_set(rng: &mut Rng64) -> TemplateSet {
+    let n = 1 + rng.gen_index(10);
+    TemplateSet::new((0..n).map(|_| random_template(rng)).collect())
+}
+
+/// encode/decode is the identity on every valid template set.
+#[test]
+fn encode_decode_roundtrip() {
+    for seed in 0u64..256 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let set = random_set(&mut rng);
+        let bits = encode(&set);
+        assert_eq!(bits.len(), set.len() * BITS_PER_TEMPLATE, "seed {seed}");
+        let back = decode(&bits);
+        assert_eq!(set, back, "seed {seed}");
+    }
+}
+
+/// decode is total on well-shaped bit strings: any multiple of the
+/// template width up to 10 templates decodes to a valid set, and
+/// re-encoding it is stable (decode . encode . decode == decode).
+#[test]
+fn decode_is_total_and_stable() {
+    for seed in 0u64..256 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let n_templates = 1 + rng.gen_index(10);
+        let bits: Vec<bool> = (0..n_templates * BITS_PER_TEMPLATE)
+            .map(|_| rng.gen_bool(0.5))
+            .collect();
+        let set = decode(&bits);
+        assert!(!set.is_empty() && set.len() <= 10, "seed {seed}");
         for t in set.templates() {
             if let Some(k) = t.node_range_log2 {
-                prop_assert!(k <= 9);
+                assert!(k <= 9, "seed {seed}");
             }
             if let Some(h) = t.max_history {
-                prop_assert!((2..=65_536).contains(&h) && h.is_power_of_two());
+                assert!(
+                    (2..=65_536).contains(&h) && h.is_power_of_two(),
+                    "seed {seed}"
+                );
             }
         }
         let again = decode(&encode(&set));
-        prop_assert_eq!(set, again);
+        assert_eq!(set, again, "seed {seed}");
     }
 }
 
@@ -107,13 +115,14 @@ mod search_behaviour {
     fn evaluation_is_total() {
         let wl = toy(150, 16, 61);
         let pw = PredictionWorkload::build(&wl, Target::Scheduling(Algorithm::Backfill), 3);
-        let set = TemplateSet::new(vec![
-            Template::mean_over(&[Characteristic::User, Characteristic::Executable])
-                .with_node_range(1)
-                .relative()
-                .with_rtime()
-                .with_max_history(4),
-        ]);
+        let set = TemplateSet::new(vec![Template::mean_over(&[
+            Characteristic::User,
+            Characteristic::Executable,
+        ])
+        .with_node_range(1)
+        .relative()
+        .with_rtime()
+        .with_max_history(4)]);
         let stats = evaluate(&set, &wl, &pw);
         assert!(stats.mean_abs_error_min().is_finite());
         assert_eq!(stats.count(), pw.n_predictions as u64);

@@ -69,6 +69,85 @@ pub struct SimResult {
     pub metrics: Metrics,
 }
 
+/// Why a guarded simulation aborted instead of producing a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The event queue drained while jobs were still waiting: the
+    /// schedule can never make progress (e.g. a job that fits no
+    /// machine state).
+    Stalled {
+        /// Jobs still queued when progress stopped.
+        queued: usize,
+        /// Simulated instant at which the stall was detected.
+        at: Time,
+    },
+    /// The step budget was exhausted before the trace completed — the
+    /// watchdog against a livelocked engine.
+    BudgetExhausted {
+        /// Steps executed before giving up.
+        steps: u64,
+    },
+    /// The estimator reported failure and the engine was asked not to
+    /// schedule on garbage.
+    EstimateFailed {
+        /// Job whose estimate failed.
+        job: JobId,
+        /// The estimator's reason.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { queued, at } => {
+                write!(
+                    f,
+                    "simulation stalled at t={} with {queued} jobs queued",
+                    at.seconds()
+                )
+            }
+            SimError::BudgetExhausted { steps } => {
+                write!(f, "simulation exceeded its step budget of {steps}")
+            }
+            SimError::EstimateFailed { job, reason } => {
+                write!(f, "estimate failed for job {}: {reason}", job.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Budgets for a guarded simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Maximum event-loop steps. `None` derives a generous budget from
+    /// the workload size (every well-formed trace finishes well within
+    /// it).
+    pub max_steps: Option<u64>,
+}
+
+impl SimLimits {
+    /// The derived default budget for `wl`: each job contributes one
+    /// submit and one finish instant, so any legitimate run needs at
+    /// most `2·jobs` steps; the slack absorbs future engine changes.
+    pub fn derived_budget(wl: &Workload) -> u64 {
+        10 * wl.len() as u64 + 1_000
+    }
+}
+
+/// A finished guarded run: the schedule plus any invariant violations
+/// the engine observed (reported rather than panicking).
+#[derive(Debug, Clone)]
+pub struct GuardedRun {
+    /// The schedule, as from [`Simulation::run`].
+    pub result: SimResult,
+    /// Human-readable invariant violations (empty on a healthy run):
+    /// capacity exceeded, negative waits, unbalanced node accounting.
+    pub violations: Vec<String>,
+}
+
 impl SimResult {
     /// The outcome for a specific job.
     pub fn outcome(&self, id: JobId) -> &JobOutcome {
@@ -102,6 +181,10 @@ pub struct Simulation<'w> {
     starts: Vec<Option<Time>>,
     finishes: Vec<Option<Time>>,
     finished: usize,
+    /// Guarded mode: collect invariant violations instead of asserting,
+    /// and consult the estimator through its fallible entry point.
+    guarded: bool,
+    violations: Vec<String>,
 }
 
 impl<'w> Simulation<'w> {
@@ -124,6 +207,8 @@ impl<'w> Simulation<'w> {
             starts: vec![None; wl.len()],
             finishes: vec![None; wl.len()],
             finished: 0,
+            guarded: false,
+            violations: Vec::new(),
         }
     }
 
@@ -133,6 +218,68 @@ impl<'w> Simulation<'w> {
         sim.run_with_hooks(est, &mut NoHooks)
     }
 
+    /// Run to completion under a step budget and invariant guards,
+    /// returning [`SimError`] instead of looping forever or panicking on
+    /// a schedule that cannot make progress.
+    ///
+    /// The estimator is consulted through
+    /// [`RuntimeEstimator::try_estimate`], so an estimator whose every
+    /// source has failed aborts the run rather than scheduling on
+    /// garbage. Invariant violations (capacity exceeded, negative waits,
+    /// unbalanced node accounting) are *reported* in the returned
+    /// [`GuardedRun`] rather than asserted.
+    pub fn run_guarded(
+        wl: &'w Workload,
+        alg: Algorithm,
+        est: &mut dyn RuntimeEstimator,
+        limits: SimLimits,
+    ) -> Result<GuardedRun, SimError> {
+        let mut sim = Simulation::new(wl, alg);
+        sim.guarded = true;
+        let budget = limits
+            .max_steps
+            .unwrap_or_else(|| SimLimits::derived_budget(wl));
+        sim.drive(est, &mut NoHooks, Some(budget))?;
+        if sim.finished != wl.len() {
+            return Err(SimError::Stalled {
+                queued: wl.len() - sim.finished,
+                at: sim.now,
+            });
+        }
+        let mut violations = std::mem::take(&mut sim.violations);
+        if sim.free_nodes != wl.machine_nodes {
+            violations.push(format!(
+                "node accounting unbalanced at end of run: {} free of {}",
+                sim.free_nodes, wl.machine_nodes
+            ));
+        }
+        let outcomes: Vec<JobOutcome> = wl
+            .jobs
+            .iter()
+            .map(|j| JobOutcome {
+                id: j.id,
+                submit: j.submit,
+                start: sim.starts[j.id.index()].expect("finished jobs have starts"),
+                finish: sim.finishes[j.id.index()].expect("finished jobs have finishes"),
+            })
+            .collect();
+        for o in &outcomes {
+            if o.start < o.submit {
+                violations.push(format!(
+                    "negative wait: job {} started at t={} before submit t={}",
+                    o.id.0,
+                    o.start.seconds(),
+                    o.submit.seconds()
+                ));
+            }
+        }
+        let metrics = Metrics::from_outcomes(wl, &outcomes);
+        Ok(GuardedRun {
+            result: SimResult { outcomes, metrics },
+            violations,
+        })
+    }
+
     /// Run to completion, reporting submissions/starts/completions to
     /// `hooks`.
     pub fn run_with_hooks(
@@ -140,22 +287,8 @@ impl<'w> Simulation<'w> {
         est: &mut dyn RuntimeEstimator,
         hooks: &mut dyn SimHooks,
     ) -> SimResult {
-        while let Some(&Reverse((t, _, _, _))) = self.events.peek() {
-            self.now = t;
-            // Drain every event at this instant; heap order guarantees
-            // finishes come first.
-            while let Some(&Reverse((et, kind, _, id))) = self.events.peek() {
-                if et != t {
-                    break;
-                }
-                self.events.pop();
-                match kind {
-                    KIND_FINISH => self.apply_finish(id, est, hooks),
-                    _ => self.apply_submit(id, hooks),
-                }
-            }
-            self.schedule(est, hooks);
-        }
+        self.drive(est, hooks, None)
+            .expect("unguarded runs use infallible estimates and no budget");
         debug_assert_eq!(self.finished, self.wl.len(), "jobs lost by the engine");
         debug_assert_eq!(self.free_nodes, self.wl.machine_nodes);
         debug_assert!(self.queue.is_empty() && self.running.is_empty());
@@ -172,6 +305,58 @@ impl<'w> Simulation<'w> {
             .collect();
         let metrics = Metrics::from_outcomes(self.wl, &outcomes);
         SimResult { outcomes, metrics }
+    }
+
+    /// The event loop shared by the guarded and unguarded entry points.
+    fn drive(
+        &mut self,
+        est: &mut dyn RuntimeEstimator,
+        hooks: &mut dyn SimHooks,
+        budget: Option<u64>,
+    ) -> Result<(), SimError> {
+        let mut steps = 0u64;
+        while let Some(&Reverse((t, _, _, _))) = self.events.peek() {
+            if let Some(b) = budget {
+                steps += 1;
+                if steps > b {
+                    return Err(SimError::BudgetExhausted { steps: b });
+                }
+            }
+            self.now = t;
+            // Drain every event at this instant; heap order guarantees
+            // finishes come first.
+            while let Some(&Reverse((et, kind, _, id))) = self.events.peek() {
+                if et != t {
+                    break;
+                }
+                self.events.pop();
+                match kind {
+                    KIND_FINISH => self.apply_finish(id, est, hooks),
+                    _ => self.apply_submit(id, hooks),
+                }
+            }
+            self.schedule(est, hooks)?;
+        }
+        Ok(())
+    }
+
+    /// Obtain an estimate, through the fallible path in guarded mode.
+    fn get_estimate(
+        &mut self,
+        est: &mut dyn RuntimeEstimator,
+        id: JobId,
+        elapsed: Dur,
+    ) -> Result<Dur, SimError> {
+        let job = self.wl.job(id);
+        if self.guarded {
+            est.try_estimate(job, self.now, elapsed)
+                .map_err(|e| SimError::EstimateFailed {
+                    job: id,
+                    reason: e.reason,
+                })
+        } else {
+            Ok(est.estimate(job, self.now, elapsed))
+        }
     }
 
     fn apply_finish(
@@ -202,9 +387,13 @@ impl<'w> Simulation<'w> {
         hooks.after_submit(&snap, self.wl.job(id));
     }
 
-    fn schedule(&mut self, est: &mut dyn RuntimeEstimator, hooks: &mut dyn SimHooks) {
+    fn schedule(
+        &mut self,
+        est: &mut dyn RuntimeEstimator,
+        hooks: &mut dyn SimHooks,
+    ) -> Result<(), SimError> {
         if self.queue.is_empty() {
-            return;
+            return Ok(());
         }
         if hooks.wants_schedule_snapshots() {
             let snap = self.snapshot();
@@ -212,46 +401,43 @@ impl<'w> Simulation<'w> {
         }
         // Re-estimate exactly the sets the paper says each algorithm
         // consults at every scheduling attempt.
-        let running_views: Vec<RunningView> = if self.alg.uses_running_estimates() {
-            self.running
-                .iter()
-                .map(|r| {
-                    let job = self.wl.job(r.id);
-                    let elapsed = self.now - r.start;
-                    let pred = est.estimate(job, self.now, elapsed).max(elapsed + Dur::SECOND);
-                    RunningView {
-                        nodes: r.nodes,
-                        pred_end: r.start + pred,
-                    }
-                })
-                .collect()
-        } else {
-            self.running
-                .iter()
-                .map(|r| RunningView {
-                    nodes: r.nodes,
-                    pred_end: self.now + Dur::SECOND,
-                })
-                .collect()
-        };
-        let entries: Vec<QueueEntry> = self
-            .queue
-            .iter()
-            .map(|&(id, seq)| {
-                let job = self.wl.job(id);
-                let pred = if self.alg.uses_queue_estimates() {
-                    est.estimate(job, self.now, Dur::ZERO).max(Dur::SECOND)
-                } else {
-                    Dur::SECOND
+        let mut running_views: Vec<RunningView> = Vec::with_capacity(self.running.len());
+        if self.alg.uses_running_estimates() {
+            for i in 0..self.running.len() {
+                let (id, start, nodes) = {
+                    let r = &self.running[i];
+                    (r.id, r.start, r.nodes)
                 };
-                QueueEntry {
-                    id,
-                    seq,
-                    nodes: job.nodes,
-                    pred_runtime: pred,
-                }
-            })
-            .collect();
+                let elapsed = self.now - start;
+                let pred = self
+                    .get_estimate(est, id, elapsed)?
+                    .max(elapsed + Dur::SECOND);
+                running_views.push(RunningView {
+                    nodes,
+                    pred_end: start + pred,
+                });
+            }
+        } else {
+            running_views.extend(self.running.iter().map(|r| RunningView {
+                nodes: r.nodes,
+                pred_end: self.now + Dur::SECOND,
+            }));
+        }
+        let mut entries: Vec<QueueEntry> = Vec::with_capacity(self.queue.len());
+        for i in 0..self.queue.len() {
+            let (id, seq) = self.queue[i];
+            let pred = if self.alg.uses_queue_estimates() {
+                self.get_estimate(est, id, Dur::ZERO)?.max(Dur::SECOND)
+            } else {
+                Dur::SECOND
+            };
+            entries.push(QueueEntry {
+                id,
+                seq,
+                nodes: self.wl.job(id).nodes,
+                pred_runtime: pred,
+            });
+        }
         let start_idxs = schedule_pass(
             self.alg,
             self.now,
@@ -261,11 +447,14 @@ impl<'w> Simulation<'w> {
             &entries,
         );
         if start_idxs.is_empty() {
-            return;
+            return Ok(());
         }
         // Start the chosen jobs; remove from the queue afterwards so the
         // indices stay valid.
-        let ids: Vec<JobId> = start_idxs.iter().map(|&i| entries[i].id).collect();
+        let chosen_jobs: Vec<(JobId, u64)> = start_idxs
+            .iter()
+            .map(|&i| (entries[i].id, entries[i].seq))
+            .collect();
         let mut chosen = vec![false; self.queue.len()];
         for &i in &start_idxs {
             chosen[i] = true;
@@ -276,8 +465,22 @@ impl<'w> Simulation<'w> {
             keep_idx += 1;
             k
         });
-        for id in ids {
+        for (id, seq) in chosen_jobs {
             let job = self.wl.job(id);
+            if self.guarded && job.nodes > self.free_nodes {
+                // Report rather than panic, and re-queue the job so node
+                // accounting stays sound (it may then stall, which the
+                // guarded entry point reports as an error).
+                self.violations.push(format!(
+                    "capacity exceeded at t={}: job {} wants {} nodes, {} free",
+                    self.now.seconds(),
+                    id.0,
+                    job.nodes,
+                    self.free_nodes
+                ));
+                self.queue.push((id, seq));
+                continue;
+            }
             debug_assert!(job.nodes <= self.free_nodes, "scheduler oversubscribed");
             self.free_nodes -= job.nodes;
             self.running.push(RunningJob {
@@ -295,6 +498,7 @@ impl<'w> Simulation<'w> {
             est.on_start(job, self.now);
             hooks.on_job_start(job, self.now);
         }
+        Ok(())
     }
 
     /// Capture the current system state.
@@ -378,11 +582,7 @@ mod tests {
 
     #[test]
     fn fcfs_would_not_reorder() {
-        let w = wl(&[
-            (0, 8, 50, 100),
-            (1, 8, 100, 200),
-            (2, 1, 50, 100),
-        ]);
+        let w = wl(&[(0, 8, 50, 100), (1, 8, 100, 200), (2, 1, 50, 100)]);
         let r = Simulation::run(&w, Algorithm::Fcfs, &mut ActualEstimator);
         // FCFS keeps arrival order: the big job takes the whole machine
         // at t=50, and the small job waits behind it until t=150.
@@ -416,7 +616,10 @@ mod tests {
         ]);
         let mut est = MaxRuntimeEstimator::from_workload(&w);
         let r = Simulation::run(&w, Algorithm::Backfill, &mut est);
-        assert!(r.outcomes[2].start >= Time(100), "loose limit should block backfill");
+        assert!(
+            r.outcomes[2].start >= Time(100),
+            "loose limit should block backfill"
+        );
     }
 
     #[test]
@@ -463,6 +666,108 @@ mod tests {
         assert_eq!(hooks.0[0], (0, 1));
         // Second submit: first job running, itself queued.
         assert_eq!(hooks.0[1], (1, 1));
+    }
+
+    #[test]
+    fn guarded_run_matches_unguarded_on_healthy_trace() {
+        let w = qpredict_workload::synthetic::toy(200, 16, 5);
+        for alg in Algorithm::ALL {
+            let plain = Simulation::run(&w, alg, &mut ActualEstimator);
+            let guarded =
+                Simulation::run_guarded(&w, alg, &mut ActualEstimator, SimLimits::default())
+                    .expect("healthy trace");
+            assert_eq!(plain.outcomes, guarded.result.outcomes, "{alg}");
+            assert!(
+                guarded.violations.is_empty(),
+                "{alg}: {:?}",
+                guarded.violations
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_run_reports_stall_instead_of_panicking() {
+        // A job wanting more nodes than the machine has can never start.
+        // (Workload::validate rejects this; the guarded engine must
+        // survive a workload that bypassed validation.)
+        let mut w = Workload::new("t", 8);
+        w.jobs = vec![
+            JobBuilder::new().nodes(4).runtime(Dur(10)).build(JobId(0)),
+            JobBuilder::new()
+                .nodes(16)
+                .runtime(Dur(10))
+                .submit(Time(1))
+                .build(JobId(1)),
+        ];
+        // No finalize-with-clamp: leave the oversized job in place.
+        let err = Simulation::run_guarded(
+            &w,
+            Algorithm::Fcfs,
+            &mut ActualEstimator,
+            SimLimits::default(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Stalled {
+                queued: 1,
+                at: Time(10)
+            }
+        );
+        assert!(err.to_string().contains("stalled"));
+    }
+
+    #[test]
+    fn guarded_run_honours_step_budget() {
+        let w = qpredict_workload::synthetic::toy(50, 16, 6);
+        let err = Simulation::run_guarded(
+            &w,
+            Algorithm::Fcfs,
+            &mut ActualEstimator,
+            SimLimits { max_steps: Some(3) },
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::BudgetExhausted { steps: 3 });
+    }
+
+    #[test]
+    fn guarded_run_surfaces_estimate_failure() {
+        struct Broken;
+        impl RuntimeEstimator for Broken {
+            fn estimate(&mut self, job: &Job, _n: Time, _e: Dur) -> Dur {
+                job.runtime
+            }
+            fn try_estimate(
+                &mut self,
+                _job: &Job,
+                _now: Time,
+                _elapsed: Dur,
+            ) -> Result<Dur, crate::estimators::EstimateError> {
+                Err(crate::estimators::EstimateError {
+                    reason: "all sources exhausted".into(),
+                })
+            }
+        }
+        let w = wl(&[(0, 4, 100, 200), (1, 4, 50, 100)]);
+        // Backfill consults the estimator; the failure must surface.
+        let err =
+            Simulation::run_guarded(&w, Algorithm::Backfill, &mut Broken, SimLimits::default())
+                .unwrap_err();
+        match err {
+            SimError::EstimateFailed { reason, .. } => {
+                assert!(reason.contains("exhausted"));
+            }
+            other => panic!("expected EstimateFailed, got {other:?}"),
+        }
+        // FCFS never estimates: the same estimator completes fine.
+        Simulation::run_guarded(&w, Algorithm::Fcfs, &mut Broken, SimLimits::default())
+            .expect("FCFS needs no estimates");
+    }
+
+    #[test]
+    fn derived_budget_scales_with_workload() {
+        let w = qpredict_workload::synthetic::toy(100, 16, 7);
+        assert!(SimLimits::derived_budget(&w) >= 2 * 100);
     }
 
     #[test]

@@ -10,6 +10,21 @@ use std::collections::HashMap;
 
 use qpredict_workload::{Characteristic, Dur, Job, Sym, Time, Workload};
 
+/// Why an estimator could not supply a usable estimate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EstimateError {
+    /// Human-readable reason (which source failed, and how).
+    pub reason: String,
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "estimate unavailable: {}", self.reason)
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
 /// Supplies run-time estimates to the scheduling algorithms and observes
 /// job lifecycle events so that learning predictors can accumulate
 /// history.
@@ -18,6 +33,15 @@ pub trait RuntimeEstimator {
     /// for `elapsed` (zero for queued jobs). Implementations must return
     /// a positive duration, at least `elapsed + 1` for running jobs.
     fn estimate(&mut self, job: &Job, now: Time, elapsed: Dur) -> Dur;
+
+    /// Fallible variant of [`estimate`](RuntimeEstimator::estimate), for
+    /// estimators with degraded modes (fault injection, exhausted
+    /// fallback chains). The default never fails; the guarded engine
+    /// entry point surfaces `Err` as a simulation error instead of
+    /// scheduling on garbage.
+    fn try_estimate(&mut self, job: &Job, now: Time, elapsed: Dur) -> Result<Dur, EstimateError> {
+        Ok(self.estimate(job, now, elapsed))
+    }
 
     /// Called when a job begins execution.
     fn on_start(&mut self, _job: &Job, _now: Time) {}
@@ -77,10 +101,7 @@ impl MaxRuntimeEstimator {
             return m;
         }
         let q = job.characteristic(Characteristic::Queue);
-        self.queue_max
-            .get(&q)
-            .copied()
-            .unwrap_or(self.global_max)
+        self.queue_max.get(&q).copied().unwrap_or(self.global_max)
     }
 }
 

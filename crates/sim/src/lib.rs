@@ -23,14 +23,20 @@
 
 pub mod engine;
 pub mod estimators;
+pub mod fault;
 pub mod metrics;
 pub mod profile;
 pub mod scheduler;
 pub mod tests_support;
 pub mod timeline;
 
-pub use engine::{NoHooks, SimHooks, SimResult, Simulation, Snapshot};
-pub use estimators::{ActualEstimator, ConstantEstimator, MaxRuntimeEstimator, RuntimeEstimator};
+pub use engine::{
+    GuardedRun, NoHooks, SimError, SimHooks, SimLimits, SimResult, Simulation, Snapshot,
+};
+pub use estimators::{
+    ActualEstimator, ConstantEstimator, EstimateError, MaxRuntimeEstimator, RuntimeEstimator,
+};
+pub use fault::{FaultCounts, FaultPlan, FaultReport, FaultyEstimator};
 pub use metrics::{JobOutcome, Metrics};
 pub use profile::Profile;
 pub use scheduler::{schedule_pass, Algorithm, QueueEntry, RunningView};

@@ -278,13 +278,13 @@ mod tests {
     fn fit_then_reserve_never_oversubscribes() {
         // Randomized smoke: every reservation placed at earliest_fit keeps
         // the profile valid.
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        use qpredict_workload::Rng64;
+        let mut rng = Rng64::seed_from_u64(9);
         for _ in 0..50 {
             let mut p = Profile::new(32, t(0), &[(10, t(40)), (6, t(90))]);
             for _ in 0..40 {
-                let nodes = rng.gen_range(1..=32);
-                let dur = Dur(rng.gen_range(1..=200));
+                let nodes = 1 + rng.gen_index(32) as u32;
+                let dur = Dur(rng.gen_range_i64(1, 200));
                 let at = p.earliest_fit(nodes, dur);
                 p.reserve(at, dur, nodes);
                 p.check().unwrap();

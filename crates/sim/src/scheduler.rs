@@ -127,8 +127,7 @@ pub fn schedule_pass(
     queue: &[QueueEntry],
 ) -> Vec<usize> {
     debug_assert!(
-        running.iter().map(|r| r.nodes as u64).sum::<u64>()
-            + free_nodes as u64
+        running.iter().map(|r| r.nodes as u64).sum::<u64>() + free_nodes as u64
             == machine_nodes as u64,
         "free-node accounting is inconsistent"
     );
@@ -151,9 +150,7 @@ pub fn schedule_pass(
             },
             false,
         ),
-        Algorithm::Backfill => {
-            backfill_pass(now, machine_nodes, free_nodes, running, queue, false)
-        }
+        Algorithm::Backfill => backfill_pass(now, machine_nodes, free_nodes, running, queue, false),
         Algorithm::EasyBackfill => {
             backfill_pass(now, machine_nodes, free_nodes, running, queue, true)
         }
@@ -208,8 +205,7 @@ fn backfill_pass(
     easy: bool,
 ) -> Vec<usize> {
     let _ = free_nodes; // implied by `running`; the profile recomputes it
-    let running_pairs: Vec<(u32, Time)> =
-        running.iter().map(|r| (r.nodes, r.pred_end)).collect();
+    let running_pairs: Vec<(u32, Time)> = running.iter().map(|r| (r.nodes, r.pred_end)).collect();
     let mut profile = Profile::new(machine_nodes, now, &running_pairs);
 
     let mut order: Vec<usize> = (0..queue.len()).collect();
@@ -303,8 +299,7 @@ mod tests {
         // Second job: 4 nodes, 50 s: fits now and ends at t=50 <= 100, so
         // it cannot delay the reservation -> backfilled.
         let queue = [qe(0, 8, 100), qe(1, 4, 50)];
-        let starts =
-            schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
+        let starts = schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
         assert_eq!(starts, vec![1]);
     }
 
@@ -313,8 +308,7 @@ mod tests {
         // Same as above but the small job runs 150 s: it would hold 4
         // nodes past t=100 and delay the 8-node reservation.
         let queue = [qe(0, 8, 100), qe(1, 4, 150)];
-        let starts =
-            schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
+        let starts = schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
         assert!(starts.is_empty());
     }
 
@@ -329,8 +323,7 @@ mod tests {
         // q2: 4 nodes 250 s: starting now would run to 250, overlapping
         // [100,300) where 8 nodes are reserved -> must not start.
         let queue = [qe(0, 8, 100), qe(1, 8, 100), qe(2, 4, 250)];
-        let starts =
-            schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
+        let starts = schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &[rv(4, 100)], &queue);
         assert!(starts.is_empty());
     }
 
@@ -372,10 +365,8 @@ mod tests {
         //     alongside q0 but not alongside q1 (8 nodes at [200, ...)).
         let queue = [qe(0, 6, 100), qe(1, 8, 100), qe(2, 2, 250)];
         let running = [rv(4, 100)];
-        let conservative =
-            schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &running, &queue);
-        let easy =
-            schedule_pass(Algorithm::EasyBackfill, Time(0), 8, 4, &running, &queue);
+        let conservative = schedule_pass(Algorithm::Backfill, Time(0), 8, 4, &running, &queue);
+        let easy = schedule_pass(Algorithm::EasyBackfill, Time(0), 8, 4, &running, &queue);
         // Conservative: q0 reserved at 100 (6 nodes), q1 reserved at 200,
         // q2 (2 nodes, 250 s) would overlap q1's [200, 300) full-machine
         // reservation -> refused.

@@ -80,8 +80,7 @@ impl Timeline {
         let mut cursor = from;
         let mut used = self.used_at(from);
         for &(t, u) in self.steps.iter().filter(|&&(t, _)| t > from && t < to) {
-            idle += (self.machine_nodes.saturating_sub(used)) as f64
-                * (t - cursor).as_secs_f64();
+            idle += (self.machine_nodes.saturating_sub(used)) as f64 * (t - cursor).as_secs_f64();
             cursor = t;
             used = u;
         }

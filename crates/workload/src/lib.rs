@@ -25,6 +25,7 @@
 pub mod analysis;
 pub mod compress;
 pub mod job;
+pub mod rng;
 pub mod stats;
 pub mod swf;
 pub mod symbols;
@@ -34,7 +35,9 @@ pub mod workload;
 
 pub use compress::compress_interarrivals;
 pub use job::{Characteristic, Job, JobBuilder, JobId, CHARACTERISTICS};
+pub use rng::Rng64;
 pub use stats::WorkloadStats;
+pub use swf::{IngestPolicy, IngestReport, SkipCategory, SwfError};
 pub use symbols::{Sym, SymbolTable};
 pub use time::{Dur, Time};
 pub use workload::Workload;

@@ -18,7 +18,22 @@
 //! ```
 //!
 //! Missing values are `-1`. Comment/header lines start with `;`.
+//!
+//! # Ingestion policies
+//!
+//! Archive traces accumulate damage: truncated lines, editor artifacts,
+//! duplicated records, clock skew. [`parse_with`] takes an
+//! [`IngestPolicy`]:
+//!
+//! * [`IngestPolicy::Strict`] fails fast on the first malformed line
+//!   (non-integer field, wrong field count), exactly like [`parse`].
+//! * [`IngestPolicy::Lenient`] skips malformed lines instead, recording
+//!   each skip in an [`IngestReport`] — per-category counts, the first few
+//!   sample messages per category, and every skipped line number — so a
+//!   damaged trace still yields a usable [`Workload`] plus an auditable
+//!   account of what was dropped.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use crate::job::{Characteristic, JobBuilder, JobId};
@@ -42,7 +57,226 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
-/// Parse an SWF document from a string.
+/// How [`parse_with`] treats malformed trace lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IngestPolicy {
+    /// Fail fast on the first malformed line (the historical behaviour).
+    #[default]
+    Strict,
+    /// Skip malformed lines, recording each skip in the [`IngestReport`].
+    Lenient,
+}
+
+impl IngestPolicy {
+    /// Parse a policy name (`strict` | `lenient`, case-insensitive).
+    pub fn parse(s: &str) -> Option<IngestPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "strict" => Some(IngestPolicy::Strict),
+            "lenient" => Some(IngestPolicy::Lenient),
+            _ => None,
+        }
+    }
+
+    /// Canonical name of the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            IngestPolicy::Strict => "strict",
+            IngestPolicy::Lenient => "lenient",
+        }
+    }
+}
+
+/// Why a trace line was skipped (or flagged) during ingestion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkipCategory {
+    /// A field did not parse as an integer.
+    NonIntegerField,
+    /// Fewer than the 18 required fields.
+    TooFewFields,
+    /// Negative submit time.
+    NegativeSubmit,
+    /// Non-positive run time or processor count (cancelled or corrupt
+    /// record; skipped under every policy, as archive practice dictates).
+    CancelledRecord,
+    /// A job number already seen earlier in the trace.
+    DuplicateJobId,
+    /// Submit time earlier than the previously accepted record's.
+    NonMonotonicSubmit,
+    /// More than 18 fields. A *warning*: the record is still ingested
+    /// using the first 18 fields.
+    TrailingFields,
+}
+
+impl SkipCategory {
+    /// Every category, for iteration/reporting.
+    pub const ALL: [SkipCategory; 7] = [
+        SkipCategory::NonIntegerField,
+        SkipCategory::TooFewFields,
+        SkipCategory::NegativeSubmit,
+        SkipCategory::CancelledRecord,
+        SkipCategory::DuplicateJobId,
+        SkipCategory::NonMonotonicSubmit,
+        SkipCategory::TrailingFields,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkipCategory::NonIntegerField => "non-integer field",
+            SkipCategory::TooFewFields => "too few fields",
+            SkipCategory::NegativeSubmit => "negative submit time",
+            SkipCategory::CancelledRecord => "cancelled/corrupt record",
+            SkipCategory::DuplicateJobId => "duplicate job id",
+            SkipCategory::NonMonotonicSubmit => "non-monotonic submit",
+            SkipCategory::TrailingFields => "trailing extra fields",
+        }
+    }
+
+    /// Warnings flag a line without dropping it.
+    pub fn is_warning(self) -> bool {
+        matches!(self, SkipCategory::TrailingFields)
+    }
+
+    fn index(self) -> usize {
+        SkipCategory::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("category listed in ALL")
+    }
+}
+
+impl std::fmt::Display for SkipCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded ingestion incident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestSample {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description (includes the offending field where
+    /// applicable).
+    pub message: String,
+}
+
+/// How many sample messages [`IngestReport`] keeps per category.
+pub const MAX_SAMPLES_PER_CATEGORY: usize = 5;
+
+/// Structured account of a lenient (or strict) ingestion pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Non-comment, non-blank lines seen.
+    pub data_lines: usize,
+    /// Records accepted into the workload.
+    pub records_ok: usize,
+    /// Line numbers of every skipped (not merely flagged) line, in order.
+    pub skipped_lines: Vec<usize>,
+    counts: [usize; SkipCategory::ALL.len()],
+    samples: Vec<(SkipCategory, IngestSample)>,
+}
+
+impl IngestReport {
+    /// Incidents recorded in `category`.
+    pub fn count(&self, category: SkipCategory) -> usize {
+        self.counts[category.index()]
+    }
+
+    /// Total lines dropped (warnings excluded).
+    pub fn skipped_total(&self) -> usize {
+        self.skipped_lines.len()
+    }
+
+    /// Total warning incidents (line kept, but flagged).
+    pub fn warnings_total(&self) -> usize {
+        SkipCategory::ALL
+            .iter()
+            .filter(|c| c.is_warning())
+            .map(|&c| self.count(c))
+            .sum()
+    }
+
+    /// True when nothing was skipped or flagged.
+    pub fn is_clean(&self) -> bool {
+        self.skipped_total() == 0 && self.warnings_total() == 0
+    }
+
+    /// The first recorded samples for `category` (at most
+    /// [`MAX_SAMPLES_PER_CATEGORY`]).
+    pub fn samples(&self, category: SkipCategory) -> impl Iterator<Item = &IngestSample> {
+        self.samples
+            .iter()
+            .filter(move |(c, _)| *c == category)
+            .map(|(_, s)| s)
+    }
+
+    fn record(&mut self, category: SkipCategory, line: usize, message: String) {
+        self.counts[category.index()] += 1;
+        if !category.is_warning() {
+            self.skipped_lines.push(line);
+        }
+        if self.samples.iter().filter(|(c, _)| *c == category).count() < MAX_SAMPLES_PER_CATEGORY {
+            self.samples
+                .push((category, IngestSample { line, message }));
+        }
+    }
+
+    /// Multi-line human-readable summary (empty string when clean).
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return String::new();
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ingest: {} of {} data lines accepted, {} skipped, {} warnings",
+            self.records_ok,
+            self.data_lines,
+            self.skipped_total(),
+            self.warnings_total(),
+        );
+        for c in SkipCategory::ALL {
+            let n = self.count(c);
+            if n == 0 {
+                continue;
+            }
+            let kind = if c.is_warning() { "warning" } else { "skipped" };
+            let _ = writeln!(out, "  {n:6} {kind}: {c}");
+            for s in self.samples(c) {
+                let _ = writeln!(out, "         line {}: {}", s.line, s.message);
+            }
+        }
+        out
+    }
+}
+
+/// SWF field name for a 0-based field index, for error messages.
+fn field_name(i: usize) -> &'static str {
+    const NAMES: [&str; 18] = [
+        "job number",
+        "submit time",
+        "wait time",
+        "run time",
+        "allocated procs",
+        "avg cpu time",
+        "used memory",
+        "requested procs",
+        "requested time",
+        "requested memory",
+        "status",
+        "user id",
+        "group id",
+        "executable number",
+        "queue number",
+        "partition number",
+        "preceding job",
+        "think time",
+    ];
+    NAMES.get(i).copied().unwrap_or("extra field")
+}
+
+/// Parse an SWF document from a string, failing fast on malformed lines.
 ///
 /// * `name` — workload display name.
 /// * `machine_nodes` — machine size; jobs requesting more nodes are clamped
@@ -50,36 +284,135 @@ impl std::error::Error for SwfError {}
 ///
 /// Jobs with non-positive run time or zero processors are skipped, matching
 /// common practice when replaying archive traces (they represent cancelled
-/// or corrupted records).
+/// or corrupted records). Equivalent to
+/// `parse_with(.., IngestPolicy::Strict)` with the report discarded.
 pub fn parse(name: &str, machine_nodes: u32, text: &str) -> Result<Workload, SwfError> {
+    parse_with(name, machine_nodes, text, IngestPolicy::Strict).map(|(w, _)| w)
+}
+
+/// Parse an SWF document under an explicit [`IngestPolicy`].
+///
+/// Under [`IngestPolicy::Lenient`] this never fails: every malformed line
+/// is skipped and recorded in the returned [`IngestReport`]. Under
+/// [`IngestPolicy::Strict`] the first malformed line aborts the parse with
+/// an error naming the line and offending field; records that are merely
+/// cancelled/corrupt (non-positive run time or procs, negative submit) are
+/// skipped under both policies and counted in the report.
+pub fn parse_with(
+    name: &str,
+    machine_nodes: u32,
+    text: &str,
+    policy: IngestPolicy,
+) -> Result<(Workload, IngestReport), SwfError> {
     let mut w = Workload::new(name, machine_nodes);
+    let mut report = IngestReport::default();
     let mut next_id = 0u32;
-    for (lineno, line) in text.lines().enumerate() {
-        let line = line.trim();
+    let mut seen_job_numbers: HashSet<i64> = HashSet::new();
+    let mut last_submit: Option<i64> = None;
+    'lines: for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
         if line.is_empty() || line.starts_with(';') {
             continue;
         }
-        let fields: Vec<i64> = line
-            .split_whitespace()
-            .map(|f| {
-                f.parse::<i64>().map_err(|_| SwfError {
-                    line: lineno + 1,
-                    message: format!("non-integer field {f:?}"),
-                })
-            })
-            .collect::<Result<_, _>>()?;
-        if fields.len() < 18 {
-            return Err(SwfError {
-                line: lineno + 1,
-                message: format!("expected 18 fields, found {}", fields.len()),
-            });
+        report.data_lines += 1;
+
+        let mut fields: Vec<i64> = Vec::with_capacity(18);
+        for (i, f) in line.split_whitespace().enumerate() {
+            match f.parse::<i64>() {
+                Ok(v) => fields.push(v),
+                Err(_) => {
+                    let message = format!(
+                        "non-integer value {f:?} in field {} ({})",
+                        i + 1,
+                        field_name(i)
+                    );
+                    match policy {
+                        IngestPolicy::Strict => {
+                            return Err(SwfError {
+                                line: lineno,
+                                message,
+                            });
+                        }
+                        IngestPolicy::Lenient => {
+                            report.record(SkipCategory::NonIntegerField, lineno, message);
+                            continue 'lines;
+                        }
+                    }
+                }
+            }
         }
+        if fields.len() < 18 {
+            let message = format!("expected 18 fields, found {}", fields.len());
+            match policy {
+                IngestPolicy::Strict => {
+                    return Err(SwfError {
+                        line: lineno,
+                        message,
+                    })
+                }
+                IngestPolicy::Lenient => {
+                    report.record(SkipCategory::TooFewFields, lineno, message);
+                    continue;
+                }
+            }
+        }
+        if fields.len() > 18 {
+            // Tolerated under both policies: some archive exports append
+            // site-specific columns. Flag it and use the first 18.
+            report.record(
+                SkipCategory::TrailingFields,
+                lineno,
+                format!("{} fields, expected 18; extras ignored", fields.len()),
+            );
+        }
+
+        let job_number = fields[0];
         let submit = fields[1];
         let runtime = fields[3];
         let procs = if fields[4] > 0 { fields[4] } else { fields[7] };
-        if runtime <= 0 || procs <= 0 || submit < 0 {
-            continue; // cancelled or corrupt record
+
+        if submit < 0 {
+            report.record(
+                SkipCategory::NegativeSubmit,
+                lineno,
+                format!("negative value {submit} in field 2 (submit time)"),
+            );
+            continue;
         }
+        if runtime <= 0 || procs <= 0 {
+            let what = if runtime <= 0 {
+                format!("non-positive value {runtime} in field 4 (run time)")
+            } else {
+                format!("non-positive value {procs} in fields 5/8 (procs)")
+            };
+            report.record(SkipCategory::CancelledRecord, lineno, what);
+            continue;
+        }
+        if policy == IngestPolicy::Lenient {
+            // Structural consistency checks only the lenient reader
+            // performs: the strict path keeps its historical semantics.
+            if job_number >= 0 && !seen_job_numbers.insert(job_number) {
+                report.record(
+                    SkipCategory::DuplicateJobId,
+                    lineno,
+                    format!("job number {job_number} already seen (field 1)"),
+                );
+                continue;
+            }
+            if let Some(prev) = last_submit {
+                if submit < prev {
+                    report.record(
+                        SkipCategory::NonMonotonicSubmit,
+                        lineno,
+                        format!("submit time {submit} precedes previous record's {prev} (field 2)"),
+                    );
+                    continue;
+                }
+            }
+            last_submit = Some(submit);
+        }
+
         let requested_time = fields[8];
         let user = fields[11];
         let exe = fields[13];
@@ -106,9 +439,10 @@ pub fn parse(name: &str, machine_nodes: u32, text: &str) -> Result<Workload, Swf
         }
         w.jobs.push(b.build(JobId(next_id)));
         next_id += 1;
+        report.records_ok += 1;
     }
     w.finalize();
-    Ok(w)
+    Ok((w, report))
 }
 
 /// Serialize a workload to SWF text. Characteristics that do not fit SWF's
@@ -200,9 +534,11 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        let err = parse("t", 64, "1 2 x 300 4 -1 -1 4 600 -1 1 7 1 3 2 -1 -1 -1\n")
-            .unwrap_err();
+        let err = parse("t", 64, "1 2 x 300 4 -1 -1 4 600 -1 1 7 1 3 2 -1 -1 -1\n").unwrap_err();
         assert!(err.message.contains("non-integer"));
+        // The satellite requirement: the message names the offending field.
+        assert!(err.message.contains("field 3"), "{}", err.message);
+        assert!(err.message.contains("wait time"), "{}", err.message);
         assert!(!err.to_string().is_empty());
     }
 
@@ -251,5 +587,96 @@ mod tests {
         )
         .unwrap();
         assert_eq!(w.jobs[0].nodes, 8);
+    }
+
+    #[test]
+    fn lenient_recovers_from_garbage() {
+        let text = "\
+; damaged trace
+1 0 10 300 4 -1 -1 4 600 -1 1 7 1 3 2 -1 -1 -1
+2 60 0 oops 8 -1 -1 8 -1 -1 1 9 1 -1 0 -1 -1 -1
+3 90 0 120
+4 120 0 120 8 -1 -1 8 -1 -1 1 9 1 -1 0 -1 -1 -1
+";
+        // Strict fails at the first malformed line.
+        let err = parse("t", 64, text).unwrap_err();
+        assert_eq!(err.line, 3);
+        // Lenient keeps going and accounts for both skips.
+        let (w, r) = parse_with("t", 64, text, IngestPolicy::Lenient).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(r.data_lines, 4);
+        assert_eq!(r.records_ok, 2);
+        assert_eq!(r.count(SkipCategory::NonIntegerField), 1);
+        assert_eq!(r.count(SkipCategory::TooFewFields), 1);
+        assert_eq!(r.skipped_lines, vec![3, 4]);
+        let sample = r.samples(SkipCategory::NonIntegerField).next().unwrap();
+        assert_eq!(sample.line, 3);
+        assert!(sample.message.contains("field 4"), "{}", sample.message);
+    }
+
+    #[test]
+    fn lenient_drops_duplicates_and_time_travel() {
+        let text = "\
+1 50 0 300 4 -1 -1 4 -1 -1 1 7 1 3 2 -1 -1 -1
+1 60 0 120 8 -1 -1 8 -1 -1 1 9 1 -1 0 -1 -1 -1
+3 30 0 120 8 -1 -1 8 -1 -1 1 9 1 -1 0 -1 -1 -1
+4 90 0 120 8 -1 -1 8 -1 -1 1 9 1 -1 0 -1 -1 -1
+";
+        let (w, r) = parse_with("t", 64, text, IngestPolicy::Lenient).unwrap();
+        assert_eq!(w.len(), 2); // lines 2 (dup id) and 3 (submit went backwards) dropped
+        assert_eq!(r.count(SkipCategory::DuplicateJobId), 1);
+        assert_eq!(r.count(SkipCategory::NonMonotonicSubmit), 1);
+        assert_eq!(r.skipped_lines, vec![2, 3]);
+        // Strict mode does not apply these structural checks.
+        let w = parse("t", 64, text).unwrap();
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn trailing_fields_are_flagged_not_dropped() {
+        let text = "1 0 0 300 4 -1 -1 4 -1 -1 1 7 1 3 2 -1 -1 -1 99 99\n";
+        let (w, r) = parse_with("t", 64, text, IngestPolicy::Lenient).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(r.count(SkipCategory::TrailingFields), 1);
+        assert_eq!(r.skipped_total(), 0);
+        assert_eq!(r.warnings_total(), 1);
+        assert!(!r.is_clean());
+        assert!(r.summary().contains("trailing extra fields"));
+    }
+
+    #[test]
+    fn negative_submit_is_categorised() {
+        let text = "1 -5 0 300 4 -1 -1 4 -1 -1 1 7 1 3 2 -1 -1 -1\n";
+        let (w, r) = parse_with("t", 64, text, IngestPolicy::Lenient).unwrap();
+        assert_eq!(w.len(), 0);
+        assert_eq!(r.count(SkipCategory::NegativeSubmit), 1);
+    }
+
+    #[test]
+    fn report_summary_mentions_each_category() {
+        let (_, r) = parse_with(
+            "t",
+            64,
+            "1 0 0 -1 4 -1 -1 4 -1 -1 1 7 1 3 2 -1 -1 -1\n1 2 3\n",
+            IngestPolicy::Lenient,
+        )
+        .unwrap();
+        let s = r.summary();
+        assert!(s.contains("cancelled/corrupt record"), "{s}");
+        assert!(s.contains("too few fields"), "{s}");
+        assert!(s.contains("0 of 2 data lines accepted"), "{s}");
+    }
+
+    #[test]
+    fn clean_trace_reports_clean() {
+        let (_, r) = parse_with(
+            "t",
+            64,
+            "1 0 0 300 4 -1 -1 4 -1 -1 1 7 1 3 2 -1 -1 -1\n",
+            IngestPolicy::Lenient,
+        )
+        .unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.summary(), "");
     }
 }

@@ -5,39 +5,39 @@
 //! dependency set to the workspace's allowed list; each sampler is a few
 //! lines and unit-tested against its analytic moments.
 
-use rand::Rng;
+use crate::rng::Rng64;
 
 /// Sample a standard normal via the Box–Muller transform.
-pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+pub fn standard_normal(rng: &mut Rng64) -> f64 {
     // Draw u1 in (0, 1] to avoid ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
 /// Sample `Normal(mean, sd)`.
-pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+pub fn normal(rng: &mut Rng64, mean: f64, sd: f64) -> f64 {
     mean + sd * standard_normal(rng)
 }
 
 /// Sample `LogNormal(mu, sigma)` (parameters of the underlying normal).
 /// The mean of the distribution is `exp(mu + sigma^2 / 2)`.
-pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+pub fn lognormal(rng: &mut Rng64, mu: f64, sigma: f64) -> f64 {
     normal(rng, mu, sigma).exp()
 }
 
 /// Sample `LogNormal` parameterized by its *mean* and the sigma of the
 /// underlying normal; convenient when calibrating to a target mean.
-pub fn lognormal_with_mean<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+pub fn lognormal_with_mean(rng: &mut Rng64, mean: f64, sigma: f64) -> f64 {
     assert!(mean > 0.0, "lognormal mean must be positive");
     let mu = mean.ln() - sigma * sigma / 2.0;
     lognormal(rng, mu, sigma)
 }
 
 /// Sample `Exponential(rate)`; mean is `1 / rate`.
-pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+pub fn exponential(rng: &mut Rng64, rate: f64) -> f64 {
     assert!(rate > 0.0, "exponential rate must be positive");
-    let u: f64 = 1.0 - rng.gen::<f64>();
+    let u: f64 = 1.0 - rng.gen_f64();
     -u.ln() / rate
 }
 
@@ -77,9 +77,9 @@ impl Zipf {
     }
 
     /// Sample an index in `0..n`, lower indices more likely.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
-        let x = rng.gen::<f64>() * total;
+        let x = rng.gen_f64() * total;
         match self
             .cumulative
             .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
@@ -94,13 +94,13 @@ impl Zipf {
 ///
 /// # Panics
 /// Panics when `weights` is empty or sums to zero.
-pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+pub fn weighted_index(rng: &mut Rng64, weights: &[f64]) -> usize {
     let total: f64 = weights.iter().sum();
     assert!(
         total > 0.0 && total.is_finite(),
         "weights must sum to a positive finite value"
     );
-    let mut x = rng.gen::<f64>() * total;
+    let mut x = rng.gen_f64() * total;
     for (i, &w) in weights.iter().enumerate() {
         x -= w;
         if x <= 0.0 {
@@ -112,7 +112,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 
 /// Sample a power of two in `[1, cap]`, biased toward small values with
 /// weight `1 / 2^(k * skew)` for exponent `k`.
-pub fn power_of_two<R: Rng + ?Sized>(rng: &mut R, cap: u32, skew: f64) -> u32 {
+pub fn power_of_two(rng: &mut Rng64, cap: u32, skew: f64) -> u32 {
     assert!(cap >= 1);
     let max_exp = 31 - cap.leading_zeros(); // floor(log2(cap))
     let weights: Vec<f64> = (0..=max_exp)
@@ -126,8 +126,8 @@ pub fn power_of_two<R: Rng + ?Sized>(rng: &mut R, cap: u32, skew: f64) -> u32 {
 /// 1/2/4/6/8/12/18/24/36/48 h, then whole days.
 pub fn round_to_familiar_limit(seconds: f64) -> i64 {
     const GRID: [i64; 14] = [
-        300, 600, 900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 64_800, 86_400,
-        129_600, 172_800,
+        300, 600, 900, 1800, 3600, 7200, 14_400, 21_600, 28_800, 43_200, 64_800, 86_400, 129_600,
+        172_800,
     ];
     let s = seconds.max(1.0);
     for &g in &GRID {
@@ -143,11 +143,8 @@ pub fn round_to_familiar_limit(seconds: f64) -> i64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(42)
+    fn rng() -> Rng64 {
+        Rng64::seed_from_u64(42)
     }
 
     #[test]

@@ -4,15 +4,13 @@
 //! into a concrete [`Workload`]. See the module docs of
 //! [`crate::synthetic`] for the calibration philosophy.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::job::{Characteristic, JobBuilder, JobId};
 use crate::symbols::Sym;
 use crate::time::{Dur, Time};
 use crate::workload::Workload;
 
 use super::dist;
+use crate::rng::Rng64;
 
 /// How a site populates the job-`Type` characteristic.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -195,9 +193,12 @@ pub fn generate(spec: &SiteSpec) -> Workload {
     assert!(spec.n_jobs > 0, "n_jobs must be positive");
     assert!(spec.n_users > 0, "n_users must be positive");
     assert!(spec.offered_load > 0.0, "offered load must be positive");
-    assert!(spec.mean_runtime_min > 0.0, "mean run time must be positive");
+    assert!(
+        spec.mean_runtime_min > 0.0,
+        "mean run time must be positive"
+    );
 
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng64::seed_from_u64(spec.seed);
     let node_cap = spec
         .max_job_nodes
         .unwrap_or(spec.machine_nodes)
@@ -221,7 +222,14 @@ pub fn generate(spec: &SiteSpec) -> Workload {
         .collect();
 
     let mut users = build_users(
-        spec, node_cap, &mut rng, &mut w, &adaptors, &shared_exes, class_dsi, class_piofs,
+        spec,
+        node_cap,
+        &mut rng,
+        &mut w,
+        &adaptors,
+        &shared_exes,
+        class_dsi,
+        class_piofs,
     );
     let user_pick = dist::Zipf::new(users.len(), spec.user_zipf);
 
@@ -238,20 +246,20 @@ pub fn generate(spec: &SiteSpec) -> Workload {
         let ui = user_pick.sample(&mut rng);
         let (ai, argi) = {
             let u = &mut users[ui];
-            let repeat = rng.gen::<f64>() < spec.session_repeat_prob;
+            let repeat = rng.gen_f64() < spec.session_repeat_prob;
             let ai = if repeat {
                 u.current_app
             } else {
-                rng.gen_range(0..u.apps.len())
+                rng.gen_index(u.apps.len())
             };
             u.current_app = ai;
             let app = &u.apps[ai];
             let argi = if app.args.len() <= 1 {
                 0
-            } else if repeat && rng.gen::<f64>() < 0.7 {
+            } else if repeat && rng.gen_f64() < 0.7 {
                 u.current_arg.min(app.args.len() - 1)
             } else {
-                rng.gen_range(0..app.args.len())
+                rng.gen_index(app.args.len())
             };
             u.current_arg = argi;
             (ai, argi)
@@ -265,7 +273,7 @@ pub fn generate(spec: &SiteSpec) -> Workload {
         let rt_rel = app.mean_rel * mult * dist::lognormal_with_mean(&mut rng, 1.0, app.sigma);
         let mut nodes = app.pref_nodes;
         // Occasional scale-up/scale-down runs of the same application.
-        let r = rng.gen::<f64>();
+        let r = rng.gen_f64();
         if r < 0.08 {
             nodes = (nodes * 2).min(node_cap);
         } else if r < 0.16 {
@@ -350,7 +358,10 @@ pub fn generate(spec: &SiteSpec) -> Workload {
     let arrivals = draw_arrivals(&mut rng, spec.n_jobs, span_s, spec.daily_amplitude);
 
     // --- Materialize jobs.
-    let queue_syms = spec.queue_scheme.as_ref().map(|qs| intern_queues(&mut w, qs));
+    let queue_syms = spec
+        .queue_scheme
+        .as_ref()
+        .map(|qs| intern_queues(&mut w, qs));
     for (i, (draft, (&rt, &arrival))) in drafts
         .iter()
         .zip(runtimes.iter().zip(arrivals.iter()))
@@ -424,7 +435,7 @@ pub fn generate(spec: &SiteSpec) -> Workload {
 fn build_users(
     spec: &SiteSpec,
     node_cap: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
     w: &mut Workload,
     adaptors: &[Sym],
     shared_exes: &[Sym],
@@ -434,20 +445,21 @@ fn build_users(
     let mut users = Vec::with_capacity(spec.n_users);
     for ui in 0..spec.n_users {
         let sym = w.symbols.intern(&format!("u{ui:03}"));
-        let n_apps = 1 + (dist::exponential(rng, 1.0 / (spec.mean_apps_per_user - 1.0).max(0.1))
-            .floor() as usize)
-            .min(11);
+        let n_apps = 1
+            + (dist::exponential(rng, 1.0 / (spec.mean_apps_per_user - 1.0).max(0.1)).floor()
+                as usize)
+                .min(11);
         let mut apps = Vec::with_capacity(n_apps);
         for ai in 0..n_apps {
             let interactive = matches!(
                 spec.type_scheme,
                 Some(TypeScheme::AnlBatchInteractive { interactive_frac })
-                    if rng.gen::<f64>() < interactive_frac
+                    if rng.gen_f64() < interactive_frac
             );
             let pvm = matches!(
                 spec.type_scheme,
                 Some(TypeScheme::CtcSerialParallelPvm { pvm_frac })
-                    if rng.gen::<f64>() < pvm_frac
+                    if rng.gen_f64() < pvm_frac
             );
             let mut mean_rel = dist::lognormal_with_mean(rng, 1.0, spec.app_mean_sigma);
             let mut pref_nodes = dist::power_of_two(rng, node_cap, spec.node_skew);
@@ -455,8 +467,8 @@ fn build_users(
                 mean_rel *= 0.08;
                 pref_nodes = pref_nodes.min(8);
             }
-            let exe = if rng.gen::<f64>() < spec.shared_app_prob {
-                shared_exes[rng.gen_range(0..shared_exes.len())]
+            let exe = if rng.gen_f64() < spec.shared_app_prob {
+                shared_exes[rng.gen_index(shared_exes.len())]
             } else {
                 w.symbols.intern(&format!("u{ui:03}_app{ai}"))
             };
@@ -467,7 +479,7 @@ fn build_users(
                 .records_network_adaptor
                 .then(|| adaptors[dist::weighted_index(rng, &[0.7, 0.2, 0.1])]);
             let class = spec.class_prob.and_then(|p| {
-                let r = rng.gen::<f64>();
+                let r = rng.gen_f64();
                 if r < p / 2.0 {
                     Some(class_dsi)
                 } else if r < p {
@@ -497,7 +509,7 @@ fn build_users(
                 adaptor,
                 class,
                 mean_rel,
-                sigma: spec.runtime_sigma * rng.gen_range(0.6..1.4),
+                sigma: spec.runtime_sigma * rng.gen_range_f64(0.6, 1.4),
                 pref_nodes,
                 interactive,
                 pvm,
@@ -518,16 +530,17 @@ fn build_users(
 
 /// Draw `n` sorted arrival times (seconds) over `[0, span_s]` from a
 /// process whose rate has a sinusoidal daily cycle of amplitude `a`.
-fn draw_arrivals(rng: &mut StdRng, n: usize, span_s: f64, a: f64) -> Vec<i64> {
+fn draw_arrivals(rng: &mut Rng64, n: usize, span_s: f64, a: f64) -> Vec<i64> {
     const DAY: f64 = 86_400.0;
     let a = a.clamp(0.0, 0.95);
     // Cumulative rate Lambda(t) = t + (a*DAY/2pi) * (1 - cos(2pi t / DAY)).
-    let lambda = |t: f64| t + a * DAY / std::f64::consts::TAU
-        * (1.0 - (std::f64::consts::TAU * t / DAY).cos());
+    let lambda = |t: f64| {
+        t + a * DAY / std::f64::consts::TAU * (1.0 - (std::f64::consts::TAU * t / DAY).cos())
+    };
     let total = lambda(span_s);
     let mut arrivals: Vec<i64> = (0..n)
         .map(|_| {
-            let target = rng.gen::<f64>() * total;
+            let target = rng.gen_f64() * total;
             // Invert Lambda by bisection; Lambda is strictly increasing.
             let (mut lo, mut hi) = (0.0, span_s);
             for _ in 0..50 {
@@ -556,11 +569,7 @@ fn intern_queues(w: &mut Workload, qs: &QueueScheme) -> Vec<Vec<Sym>> {
     for t in 0..n_time {
         let mut row = Vec::with_capacity(n_node);
         for nc in 0..n_node {
-            let cap = qs
-                .node_buckets
-                .get(nc)
-                .copied()
-                .unwrap_or(w.machine_nodes);
+            let cap = qs.node_buckets.get(nc).copied().unwrap_or(w.machine_nodes);
             row.push(w.symbols.intern(&format!(
                 "q{}{}",
                 cap,
@@ -572,11 +581,7 @@ fn intern_queues(w: &mut Workload, qs: &QueueScheme) -> Vec<Vec<Sym>> {
     if qs.express {
         let mut row = Vec::with_capacity(n_node);
         for nc in 0..n_node {
-            let cap = qs
-                .node_buckets
-                .get(nc)
-                .copied()
-                .unwrap_or(w.machine_nodes);
+            let cap = qs.node_buckets.get(nc).copied().unwrap_or(w.machine_nodes);
             row.push(w.symbols.intern(&format!("q{cap}e")));
         }
         out.push(row);
@@ -589,7 +594,7 @@ fn pick_queue(
     queues: &[Vec<Sym>],
     intent_s: f64,
     nodes: u32,
-    rng: &mut StdRng,
+    rng: &mut Rng64,
 ) -> Sym {
     let node_class = qs
         .node_buckets
@@ -602,7 +607,7 @@ fn pick_queue(
         .position(|&b| intent_s <= b * 3600.0)
         .unwrap_or(qs.time_bucket_hours.len());
     // Short jobs sometimes go to the express queue for their size class.
-    if qs.express && time_class == 0 && rng.gen::<f64>() < 0.4 {
+    if qs.express && time_class == 0 && rng.gen_f64() < 0.4 {
         return queues[queues.len() - 1][node_class];
     }
     queues[time_class][node_class]
@@ -691,7 +696,10 @@ mod tests {
                 j.characteristic(Characteristic::User),
                 j.characteristic(Characteristic::Arguments),
             ) {
-                groups.entry((u, a)).or_default().push(j.runtime.as_secs_f64());
+                groups
+                    .entry((u, a))
+                    .or_default()
+                    .push(j.runtime.as_secs_f64());
             }
         }
         let global_mean: f64 =
@@ -744,7 +752,7 @@ mod tests {
 
     #[test]
     fn arrivals_are_sorted_and_span_solves_load() {
-        let mut r = StdRng::seed_from_u64(1);
+        let mut r = Rng64::seed_from_u64(1);
         let arr = draw_arrivals(&mut r, 500, 1_000_000.0, 0.5);
         assert_eq!(arr.len(), 500);
         assert!(arr.windows(2).all(|w| w[0] <= w[1]));

@@ -231,7 +231,11 @@ mod tests {
             assert!(w.records(Characteristic::User));
             assert!(!w.records(Characteristic::Executable));
             assert!(!w.records_max_runtime());
-            assert!(st.queues >= 10, "SDSC should have many queues: {}", st.queues);
+            assert!(
+                st.queues >= 10,
+                "SDSC should have many queues: {}",
+                st.queues
+            );
         }
     }
 
@@ -269,6 +273,9 @@ mod tests {
         let ctc = WorkloadStats::of(&small(ctc_spec())).offered_load;
         let s95 = WorkloadStats::of(&small(sdsc95_spec())).offered_load;
         let s96 = WorkloadStats::of(&small(sdsc96_spec())).offered_load;
-        assert!(anl > ctc && ctc > s96 && s96 > s95, "{anl} {ctc} {s96} {s95}");
+        assert!(
+            anl > ctc && ctc > s96 && s96 > s95,
+            "{anl} {ctc} {s96} {s95}"
+        );
     }
 }

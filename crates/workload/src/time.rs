@@ -248,7 +248,13 @@ impl fmt::Display for Dur {
         let s = self.0;
         let (sign, s) = if s < 0 { ("-", -s) } else { ("", s) };
         if s >= 3600 {
-            write!(f, "{sign}{}h{:02}m{:02}s", s / 3600, (s % 3600) / 60, s % 60)
+            write!(
+                f,
+                "{sign}{}h{:02}m{:02}s",
+                s / 3600,
+                (s % 3600) / 60,
+                s % 60
+            )
         } else if s >= 60 {
             write!(f, "{sign}{}m{:02}s", s / 60, s % 60)
         } else {

@@ -13,8 +13,9 @@ fn main() {
         let text = std::fs::read_to_string(&arg).expect("read SWF trace");
         swf::parse(&arg, 512, &text).expect("parse SWF")
     } else {
-        let mut spec = synthetic::sites::spec_by_name(&arg)
-            .unwrap_or_else(|| panic!("unknown site {arg:?}; use ANL/CTC/SDSC95/SDSC96 or a .swf path"));
+        let mut spec = synthetic::sites::spec_by_name(&arg).unwrap_or_else(|| {
+            panic!("unknown site {arg:?}; use ANL/CTC/SDSC95/SDSC96 or a .swf path")
+        });
         spec.n_jobs = spec.n_jobs.min(8000); // keep the example snappy
         synthetic::generate(&spec)
     };

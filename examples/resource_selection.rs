@@ -33,9 +33,11 @@ impl SimHooks for StateGrabber {
 
 fn main() {
     // Three candidate sites with different machines and loads.
-    let sites = [synthetic::toy(1_500, 32, 7),
+    let sites = [
+        synthetic::toy(1_500, 32, 7),
         synthetic::toy(1_500, 64, 8),
-        synthetic::toy(1_500, 128, 9)];
+        synthetic::toy(1_500, 128, 9),
+    ];
 
     // Our job: 16 nodes, and we believe it needs about 2 hours.
     let job_nodes = 16u32;
@@ -47,7 +49,10 @@ fn main() {
         // Replay the site's history up to "now" (mid-trace) to (a) train
         // its predictor and (b) capture its live scheduler state.
         let mid = wl.jobs[wl.len() / 2].submit;
-        let mut grabber = StateGrabber { at: mid, snap: None };
+        let mut grabber = StateGrabber {
+            at: mid,
+            snap: None,
+        };
         let mut est = MaxRuntimeEstimator::from_workload(wl);
         let mut sim = Simulation::new(wl, Algorithm::Backfill);
         sim.run_with_hooks(&mut est, &mut grabber);

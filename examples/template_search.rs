@@ -7,7 +7,9 @@
 //! ```
 
 use qpredict::predict::{Template, TemplateSet};
-use qpredict::search::{evaluate, greedy_search, search, GaConfig, GreedyConfig, PredictionWorkload, Target};
+use qpredict::search::{
+    evaluate, greedy_search, search, GaConfig, GreedyConfig, PredictionWorkload, Target,
+};
 use qpredict::sim::Algorithm;
 use qpredict::workload::synthetic;
 use qpredict::workload::Characteristic;
@@ -30,12 +32,18 @@ fn main() {
     // Baseline: the single most obvious template (mean over the user).
     let naive = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
     let e = evaluate(&naive, &wl, &pw);
-    println!("naive (u)-mean:        MAE {:.2} min", e.mean_abs_error_min());
+    println!(
+        "naive (u)-mean:        MAE {:.2} min",
+        e.mean_abs_error_min()
+    );
 
     // Greedy search over a candidate pool.
     let (greedy_set, _) = greedy_search(&wl, &pw, &GreedyConfig::default());
     let e = evaluate(&greedy_set, &wl, &pw);
-    println!("greedy search:         MAE {:.2} min   {greedy_set}", e.mean_abs_error_min());
+    println!(
+        "greedy search:         MAE {:.2} min   {greedy_set}",
+        e.mean_abs_error_min()
+    );
 
     // The genetic algorithm (the paper's approach).
     let cfg = GaConfig {

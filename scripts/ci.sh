@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: formatting, lints, and the full test
+# suite. Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI green."

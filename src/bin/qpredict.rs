@@ -8,15 +8,20 @@
 //! qpredict gantt    <trace.swf|site> [--nodes N] [--alg A] [--out FILE]
 //! ```
 //!
+//! Common flags: `--ingest lenient|strict` controls SWF parsing
+//! (lenient skips and reports malformed lines), and `--fault-seed N` /
+//! `--fault-pred-noise P` drive the deterministic fault-injection
+//! harness during `simulate`.
+//!
 //! Sites are generated synthetically (full Table 1 size unless `--jobs`);
 //! `.swf` paths are parsed as Standard Workload Format traces.
 
 use std::process::exit;
 
-use qpredict::core::{run_scheduling, run_wait_prediction, PredictorKind};
+use qpredict::core::{run_scheduling_with, run_wait_prediction, PredictorKind};
 use qpredict::prelude::*;
-use qpredict::sim::{timeline_of, ActualEstimator};
-use qpredict::workload::{analysis, swf, synthetic};
+use qpredict::sim::{timeline_of, ActualEstimator, FaultPlan};
+use qpredict::workload::{analysis, swf, synthetic, IngestPolicy};
 
 struct Opts {
     positional: Vec<String>,
@@ -25,15 +30,43 @@ struct Opts {
     alg: Algorithm,
     predictor: PredictorKind,
     out: Option<String>,
+    ingest: IngestPolicy,
+    fault_seed: Option<u64>,
+    fault_pred_noise: Option<f64>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: qpredict <generate|analyze|simulate|waitpred|gantt> <trace.swf|site> \
          [--nodes N] [--jobs N] [--alg fcfs|lwf|backfill|easy] \
-         [--predictor actual|maxrt|smith|gibbons|downey-avg|downey-med] [--out FILE]"
+         [--predictor actual|maxrt|smith|gibbons|downey-avg|downey-med|fallback] \
+         [--ingest strict|lenient] [--fault-seed N] [--fault-pred-noise P] [--out FILE]"
     );
     exit(2)
+}
+
+/// Exit with code 2 and a pointed diagnostic — `usage()` is for "you
+/// don't know the command shape", this is for "this one flag is wrong".
+fn flag_error(msg: String) -> ! {
+    eprintln!("qpredict: {msg}");
+    exit(2)
+}
+
+fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    it.next()
+        .unwrap_or_else(|| flag_error(format!("missing value for {flag}")))
+}
+
+fn parse_value<T>(it: &mut impl Iterator<Item = String>, flag: &str, expected: &str) -> T
+where
+    T: std::str::FromStr,
+{
+    let v = flag_value(it, flag);
+    v.parse().unwrap_or_else(|_| {
+        flag_error(format!(
+            "invalid value {v:?} for {flag} (expected {expected})"
+        ))
+    })
 }
 
 fn parse_opts() -> Opts {
@@ -44,30 +77,58 @@ fn parse_opts() -> Opts {
         alg: Algorithm::Backfill,
         predictor: PredictorKind::Smith,
         out: None,
+        ingest: IngestPolicy::Strict,
+        fault_seed: None,
+        fault_pred_noise: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--nodes" => {
-                o.nodes = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
-            }
-            "--jobs" => {
-                o.jobs = Some(it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()))
-            }
+            "--nodes" => o.nodes = parse_value(&mut it, "--nodes", "a node count"),
+            "--jobs" => o.jobs = Some(parse_value(&mut it, "--jobs", "a job count")),
             "--alg" => {
-                o.alg = it
-                    .next()
-                    .and_then(|v| Algorithm::parse(&v))
-                    .unwrap_or_else(|| usage())
+                let v = flag_value(&mut it, "--alg");
+                o.alg = Algorithm::parse(&v).unwrap_or_else(|| {
+                    flag_error(format!(
+                        "invalid value {v:?} for --alg (expected fcfs|lwf|backfill|easy)"
+                    ))
+                });
             }
             "--predictor" => {
-                o.predictor = it
-                    .next()
-                    .and_then(|v| PredictorKind::parse(&v))
-                    .unwrap_or_else(|| usage())
+                let v = flag_value(&mut it, "--predictor");
+                o.predictor = PredictorKind::parse(&v).unwrap_or_else(|| {
+                    flag_error(format!(
+                        "invalid value {v:?} for --predictor (expected actual|maxrt|smith|\
+                         gibbons|downey-avg|downey-med|fallback)"
+                    ))
+                });
             }
-            "--out" => o.out = it.next().or_else(|| usage()),
+            "--ingest" => {
+                let v = flag_value(&mut it, "--ingest");
+                o.ingest = IngestPolicy::parse(&v).unwrap_or_else(|| {
+                    flag_error(format!(
+                        "invalid value {v:?} for --ingest (expected strict|lenient)"
+                    ))
+                });
+            }
+            "--fault-seed" => {
+                o.fault_seed = Some(parse_value(&mut it, "--fault-seed", "an integer seed"))
+            }
+            "--fault-pred-noise" => {
+                let p: f64 = parse_value(&mut it, "--fault-pred-noise", "a probability in [0, 1]");
+                if !(0.0..=1.0).contains(&p) {
+                    flag_error(format!(
+                        "invalid value \"{p}\" for --fault-pred-noise (expected a probability \
+                         in [0, 1])"
+                    ));
+                }
+                o.fault_pred_noise = Some(p);
+            }
+            "--out" => o.out = Some(flag_value(&mut it, "--out")),
             "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                flag_error(format!("unknown flag {other:?} (see --help)"))
+            }
             other => o.positional.push(other.to_string()),
         }
     }
@@ -77,14 +138,37 @@ fn parse_opts() -> Opts {
     o
 }
 
+/// The fault plan implied by `--fault-seed` / `--fault-pred-noise`, or
+/// `None` when neither flag was given.
+fn fault_plan(opts: &Opts) -> Option<FaultPlan> {
+    if opts.fault_seed.is_none() && opts.fault_pred_noise.is_none() {
+        return None;
+    }
+    Some(FaultPlan::pred_noise(
+        opts.fault_seed.unwrap_or(0),
+        opts.fault_pred_noise.unwrap_or(0.0),
+    ))
+}
+
 fn load(source: &str, opts: &Opts) -> Workload {
     if source.ends_with(".swf") {
         let text = std::fs::read_to_string(source).unwrap_or_else(|e| {
             eprintln!("cannot read {source}: {e}");
             exit(1)
         });
-        match swf::parse(source, opts.nodes, &text) {
-            Ok(w) => w,
+        match swf::parse_with(source, opts.nodes, &text, opts.ingest) {
+            Ok((w, report)) => {
+                if !report.is_clean() {
+                    eprintln!(
+                        "{source}: recovered under {} ingestion:",
+                        opts.ingest.name()
+                    );
+                    for line in report.summary().lines() {
+                        eprintln!("  {line}");
+                    }
+                }
+                w
+            }
             Err(e) => {
                 eprintln!("{e}");
                 exit(1)
@@ -94,7 +178,9 @@ fn load(source: &str, opts: &Opts) -> Workload {
         synthetic::toy(opts.jobs.unwrap_or(2000), opts.nodes.min(128), 42)
     } else {
         let mut spec = synthetic::sites::spec_by_name(source).unwrap_or_else(|| {
-            eprintln!("unknown site {source:?} (use ANL, CTC, SDSC95, SDSC96, toy, or a .swf path)");
+            eprintln!(
+                "unknown site {source:?} (use ANL, CTC, SDSC95, SDSC96, toy, or a .swf path)"
+            );
             exit(1)
         });
         if let Some(n) = opts.jobs {
@@ -145,24 +231,59 @@ fn main() {
         }
         "simulate" => {
             let wl = load(source, &opts);
-            let out = run_scheduling(&wl, opts.alg, opts.predictor.clone());
+            let plan = fault_plan(&opts);
+            let out = run_scheduling_with(&wl, opts.alg, opts.predictor.clone(), plan.as_ref());
             println!(
                 "{} jobs under {} + {}:",
                 out.metrics.n_jobs,
                 opts.alg.name(),
                 opts.predictor.name()
             );
-            println!("  utilization     {:.2}% (arrival window)", 100.0 * out.metrics.utilization_window);
-            println!("  mean wait       {:.2} min", out.metrics.mean_wait.minutes());
-            println!("  median wait     {:.2} min", out.metrics.median_wait.minutes());
-            println!("  max wait        {:.2} min", out.metrics.max_wait.minutes());
-            println!("  bounded slowdown {:.2}", out.metrics.mean_bounded_slowdown);
+            println!(
+                "  utilization     {:.2}% (arrival window)",
+                100.0 * out.metrics.utilization_window
+            );
+            println!(
+                "  mean wait       {:.2} min",
+                out.metrics.mean_wait.minutes()
+            );
+            println!(
+                "  median wait     {:.2} min",
+                out.metrics.median_wait.minutes()
+            );
+            println!(
+                "  max wait        {:.2} min",
+                out.metrics.max_wait.minutes()
+            );
+            println!(
+                "  bounded slowdown {:.2}",
+                out.metrics.mean_bounded_slowdown
+            );
             if out.runtime_errors.count() > 0 {
                 println!(
                     "  run-time predictions: {} made, MAE {:.2} min ({:.0}% of mean run time)",
                     out.runtime_errors.count(),
                     out.runtime_errors.mean_abs_error_min(),
                     out.runtime_errors.pct_of_mean_actual()
+                );
+            }
+            if let Some(d) = &out.degradations {
+                println!("  predictor degradation:");
+                for line in d.summary().lines() {
+                    println!("    {line}");
+                }
+            }
+            if let Some(f) = &out.faults {
+                println!(
+                    "  faults injected (seed {}): {} cancelled, {} failed, {} delayed; \
+                     estimates: {} scaled, {} inverted, {} dropped",
+                    plan.as_ref().map(|p| p.seed).unwrap_or(0),
+                    f.trace.cancelled,
+                    f.trace.failed,
+                    f.trace.delayed,
+                    f.estimates.scaled,
+                    f.estimates.inverted,
+                    f.estimates.dropped
                 );
             }
         }

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-c82a6ca844657957.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-c82a6ca844657957: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_qpredict=/root/repo/target/debug/qpredict

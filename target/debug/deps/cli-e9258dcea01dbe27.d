@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-e9258dcea01dbe27.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-e9258dcea01dbe27.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_qpredict=placeholder:qpredict
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions-20acd5759b7f9a1f.d: tests/extensions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions-20acd5759b7f9a1f.rmeta: tests/extensions.rs Cargo.toml
+
+tests/extensions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

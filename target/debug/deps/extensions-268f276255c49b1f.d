@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-268f276255c49b1f.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-268f276255c49b1f: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper-2716cf46704082d6.d: crates/bench/src/bin/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper-2716cf46704082d6.rmeta: crates/bench/src/bin/paper.rs Cargo.toml
+
+crates/bench/src/bin/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

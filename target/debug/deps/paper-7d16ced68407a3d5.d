@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper-7d16ced68407a3d5.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/debug/deps/paper-7d16ced68407a3d5: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

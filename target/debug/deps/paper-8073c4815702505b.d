@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper-8073c4815702505b.d: crates/bench/src/bin/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper-8073c4815702505b.rmeta: crates/bench/src/bin/paper.rs Cargo.toml
+
+crates/bench/src/bin/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

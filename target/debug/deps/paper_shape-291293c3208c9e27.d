@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-291293c3208c9e27.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-291293c3208c9e27: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_shape-55f42e2ed79d86a8.d: tests/paper_shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_shape-55f42e2ed79d86a8.rmeta: tests/paper_shape.rs Cargo.toml
+
+tests/paper_shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

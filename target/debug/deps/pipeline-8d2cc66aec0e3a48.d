@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-8d2cc66aec0e3a48.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-8d2cc66aec0e3a48: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predictors-537da4b8cec29b0c.d: crates/bench/benches/predictors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredictors-537da4b8cec29b0c.rmeta: crates/bench/benches/predictors.rs Cargo.toml
+
+crates/bench/benches/predictors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-39e95e16c33b1946.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-39e95e16c33b1946: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

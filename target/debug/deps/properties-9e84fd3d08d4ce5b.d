@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-9e84fd3d08d4ce5b.d: crates/search/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-9e84fd3d08d4ce5b: crates/search/tests/properties.rs
+
+crates/search/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-dc9a8c082cbdf88a.d: crates/predict/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-dc9a8c082cbdf88a.rmeta: crates/predict/tests/properties.rs Cargo.toml
+
+crates/predict/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-dd82bb0e1d790aff.d: crates/predict/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-dd82bb0e1d790aff: crates/predict/tests/properties.rs
+
+crates/predict/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-e3d965e97bdd4f6f.d: crates/search/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-e3d965e97bdd4f6f.rmeta: crates/search/tests/properties.rs Cargo.toml
+
+crates/search/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-fbac14cd35235e38.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-fbac14cd35235e38: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

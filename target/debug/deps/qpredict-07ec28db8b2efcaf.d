@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict-07ec28db8b2efcaf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict-07ec28db8b2efcaf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict-36341042f228b69d.d: src/lib.rs
+
+/root/repo/target/debug/deps/qpredict-36341042f228b69d: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict-534ce32d6c6ea070.d: src/bin/qpredict.rs
+
+/root/repo/target/debug/deps/qpredict-534ce32d6c6ea070: src/bin/qpredict.rs
+
+src/bin/qpredict.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict-a2a18c3d96576616.d: src/bin/qpredict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict-a2a18c3d96576616.rmeta: src/bin/qpredict.rs Cargo.toml
+
+src/bin/qpredict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

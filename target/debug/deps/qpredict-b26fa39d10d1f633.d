@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict-b26fa39d10d1f633.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict-b26fa39d10d1f633.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

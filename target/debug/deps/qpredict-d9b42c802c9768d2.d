@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qpredict-d9b42c802c9768d2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict-d9b42c802c9768d2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict-d9b42c802c9768d2.rmeta: src/lib.rs
+
+src/lib.rs:

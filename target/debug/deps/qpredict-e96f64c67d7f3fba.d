@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict-e96f64c67d7f3fba.d: src/bin/qpredict.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict-e96f64c67d7f3fba.rmeta: src/bin/qpredict.rs Cargo.toml
+
+src/bin/qpredict.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

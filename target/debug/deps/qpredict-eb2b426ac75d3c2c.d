@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict-eb2b426ac75d3c2c.d: src/bin/qpredict.rs
+
+/root/repo/target/debug/deps/qpredict-eb2b426ac75d3c2c: src/bin/qpredict.rs
+
+src/bin/qpredict.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict_bench-6468b53a45249383.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict_bench-6468b53a45249383.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

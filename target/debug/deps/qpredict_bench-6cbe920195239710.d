@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qpredict_bench-6cbe920195239710.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict_bench-6cbe920195239710.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict_bench-6cbe920195239710.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

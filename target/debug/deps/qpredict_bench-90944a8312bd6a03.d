@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qpredict_bench-90944a8312bd6a03.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict_bench-90944a8312bd6a03.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict_bench-fcce61f1d82b54e3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qpredict_bench-fcce61f1d82b54e3: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qpredict_predict-150ad13fb74715c8.d: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+/root/repo/target/debug/deps/libqpredict_predict-150ad13fb74715c8.rlib: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+/root/repo/target/debug/deps/libqpredict_predict-150ad13fb74715c8.rmeta: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+crates/predict/src/lib.rs:
+crates/predict/src/baseline.rs:
+crates/predict/src/category.rs:
+crates/predict/src/downey.rs:
+crates/predict/src/error.rs:
+crates/predict/src/estimators.rs:
+crates/predict/src/fallback.rs:
+crates/predict/src/gibbons.rs:
+crates/predict/src/smith.rs:
+crates/predict/src/template.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qpredict_predict-44c00d653ff636f9.d: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict_predict-44c00d653ff636f9.rmeta: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs Cargo.toml
+
+crates/predict/src/lib.rs:
+crates/predict/src/baseline.rs:
+crates/predict/src/category.rs:
+crates/predict/src/downey.rs:
+crates/predict/src/error.rs:
+crates/predict/src/estimators.rs:
+crates/predict/src/fallback.rs:
+crates/predict/src/gibbons.rs:
+crates/predict/src/smith.rs:
+crates/predict/src/template.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qpredict_sim-7d25db38c7fd624a.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict_sim-7d25db38c7fd624a.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/estimators.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/tests_support.rs:
+crates/sim/src/timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

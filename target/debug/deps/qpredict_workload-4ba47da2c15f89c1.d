@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/qpredict_workload-4ba47da2c15f89c1.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/compress.rs crates/workload/src/job.rs crates/workload/src/rng.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/symbols.rs crates/workload/src/synthetic/mod.rs crates/workload/src/synthetic/dist.rs crates/workload/src/synthetic/model.rs crates/workload/src/synthetic/sites.rs crates/workload/src/time.rs crates/workload/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqpredict_workload-4ba47da2c15f89c1.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/compress.rs crates/workload/src/job.rs crates/workload/src/rng.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/symbols.rs crates/workload/src/synthetic/mod.rs crates/workload/src/synthetic/dist.rs crates/workload/src/synthetic/model.rs crates/workload/src/synthetic/sites.rs crates/workload/src/time.rs crates/workload/src/workload.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/compress.rs:
+crates/workload/src/job.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/symbols.rs:
+crates/workload/src/synthetic/mod.rs:
+crates/workload/src/synthetic/dist.rs:
+crates/workload/src/synthetic/model.rs:
+crates/workload/src/synthetic/sites.rs:
+crates/workload/src/time.rs:
+crates/workload/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

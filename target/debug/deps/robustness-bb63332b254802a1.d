@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/robustness-bb63332b254802a1.d: tests/robustness.rs
+
+/root/repo/target/debug/deps/robustness-bb63332b254802a1: tests/robustness.rs
+
+tests/robustness.rs:
+
+# env-dep:CARGO_BIN_EXE_qpredict=/root/repo/target/debug/qpredict

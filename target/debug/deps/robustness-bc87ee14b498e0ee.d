@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/robustness-bc87ee14b498e0ee.d: tests/robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness-bc87ee14b498e0ee.rmeta: tests/robustness.rs Cargo.toml
+
+tests/robustness.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_qpredict=placeholder:qpredict
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

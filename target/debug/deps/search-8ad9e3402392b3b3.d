@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search-8ad9e3402392b3b3.d: crates/bench/benches/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch-8ad9e3402392b3b3.rmeta: crates/bench/benches/search.rs Cargo.toml
+
+crates/bench/benches/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/swf_and_workloads-6a08236f392a0d02.d: tests/swf_and_workloads.rs
+
+/root/repo/target/debug/deps/swf_and_workloads-6a08236f392a0d02: tests/swf_and_workloads.rs
+
+tests/swf_and_workloads.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/swf_and_workloads-9e5801fab4a186e9.d: tests/swf_and_workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libswf_and_workloads-9e5801fab4a186e9.rmeta: tests/swf_and_workloads.rs Cargo.toml
+
+tests/swf_and_workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/waittime-844b4d47d44f68cf.d: crates/bench/benches/waittime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwaittime-844b4d47d44f68cf.rmeta: crates/bench/benches/waittime.rs Cargo.toml
+
+crates/bench/benches/waittime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

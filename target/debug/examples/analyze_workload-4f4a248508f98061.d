@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analyze_workload-4f4a248508f98061.d: examples/analyze_workload.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalyze_workload-4f4a248508f98061.rmeta: examples/analyze_workload.rs Cargo.toml
+
+examples/analyze_workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analyze_workload-5f3695570cebffbc.d: examples/analyze_workload.rs
+
+/root/repo/target/debug/examples/analyze_workload-5f3695570cebffbc: examples/analyze_workload.rs
+
+examples/analyze_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-2e3834b77b1a8cb2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-2e3834b77b1a8cb2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resource_selection-2881a803820f3069.d: examples/resource_selection.rs
+
+/root/repo/target/debug/examples/resource_selection-2881a803820f3069: examples/resource_selection.rs
+
+examples/resource_selection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resource_selection-db0aa15438437c02.d: examples/resource_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresource_selection-db0aa15438437c02.rmeta: examples/resource_selection.rs Cargo.toml
+
+examples/resource_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

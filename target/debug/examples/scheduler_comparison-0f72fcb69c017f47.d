@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_comparison-0f72fcb69c017f47.d: examples/scheduler_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_comparison-0f72fcb69c017f47.rmeta: examples/scheduler_comparison.rs Cargo.toml
+
+examples/scheduler_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

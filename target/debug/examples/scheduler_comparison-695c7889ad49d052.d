@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_comparison-695c7889ad49d052.d: examples/scheduler_comparison.rs
+
+/root/repo/target/debug/examples/scheduler_comparison-695c7889ad49d052: examples/scheduler_comparison.rs
+
+examples/scheduler_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scratch_verify-358252426640308b.d: examples/scratch_verify.rs
+
+/root/repo/target/debug/examples/scratch_verify-358252426640308b: examples/scratch_verify.rs
+
+examples/scratch_verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/swf_trace-a79b848da6dfef56.d: examples/swf_trace.rs
+
+/root/repo/target/debug/examples/swf_trace-a79b848da6dfef56: examples/swf_trace.rs
+
+examples/swf_trace.rs:

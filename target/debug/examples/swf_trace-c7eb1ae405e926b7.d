@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/swf_trace-c7eb1ae405e926b7.d: examples/swf_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libswf_trace-c7eb1ae405e926b7.rmeta: examples/swf_trace.rs Cargo.toml
+
+examples/swf_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

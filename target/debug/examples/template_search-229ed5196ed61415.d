@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/template_search-229ed5196ed61415.d: examples/template_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtemplate_search-229ed5196ed61415.rmeta: examples/template_search.rs Cargo.toml
+
+examples/template_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

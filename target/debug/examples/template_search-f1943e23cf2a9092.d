@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/template_search-f1943e23cf2a9092.d: examples/template_search.rs
+
+/root/repo/target/debug/examples/template_search-f1943e23cf2a9092: examples/template_search.rs
+
+examples/template_search.rs:

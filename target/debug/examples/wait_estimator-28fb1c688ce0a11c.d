@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/wait_estimator-28fb1c688ce0a11c.d: examples/wait_estimator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwait_estimator-28fb1c688ce0a11c.rmeta: examples/wait_estimator.rs Cargo.toml
+
+examples/wait_estimator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

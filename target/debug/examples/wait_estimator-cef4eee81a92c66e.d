@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/wait_estimator-cef4eee81a92c66e.d: examples/wait_estimator.rs
+
+/root/repo/target/debug/examples/wait_estimator-cef4eee81a92c66e: examples/wait_estimator.rs
+
+examples/wait_estimator.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cli-3b64faeb79921c14.d: tests/cli.rs
+
+/root/repo/target/release/deps/cli-3b64faeb79921c14: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_qpredict=/root/repo/target/release/qpredict

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions-a0a7ad8f66375af7.d: tests/extensions.rs
+
+/root/repo/target/release/deps/extensions-a0a7ad8f66375af7: tests/extensions.rs
+
+tests/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-eed66c789076ca51.d: tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-eed66c789076ca51: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-ed0cb9951f5b9806.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-ed0cb9951f5b9806: tests/pipeline.rs
+
+tests/pipeline.rs:

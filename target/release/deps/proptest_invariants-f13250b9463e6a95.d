@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_invariants-f13250b9463e6a95.d: tests/proptest_invariants.rs
+
+/root/repo/target/release/deps/proptest_invariants-f13250b9463e6a95: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

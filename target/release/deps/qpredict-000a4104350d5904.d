@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qpredict-000a4104350d5904.d: src/lib.rs
+
+/root/repo/target/release/deps/libqpredict-000a4104350d5904.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqpredict-000a4104350d5904.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qpredict-01104643db5187ce.d: src/bin/qpredict.rs
+
+/root/repo/target/release/deps/qpredict-01104643db5187ce: src/bin/qpredict.rs
+
+src/bin/qpredict.rs:

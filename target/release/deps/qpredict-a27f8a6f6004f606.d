@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qpredict-a27f8a6f6004f606.d: src/bin/qpredict.rs
+
+/root/repo/target/release/deps/qpredict-a27f8a6f6004f606: src/bin/qpredict.rs
+
+src/bin/qpredict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qpredict-d884288cc7610af4.d: src/lib.rs
+
+/root/repo/target/release/deps/qpredict-d884288cc7610af4: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qpredict_predict-7f94cd0b65510ac5.d: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+/root/repo/target/release/deps/libqpredict_predict-7f94cd0b65510ac5.rlib: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+/root/repo/target/release/deps/libqpredict_predict-7f94cd0b65510ac5.rmeta: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+crates/predict/src/lib.rs:
+crates/predict/src/baseline.rs:
+crates/predict/src/category.rs:
+crates/predict/src/downey.rs:
+crates/predict/src/error.rs:
+crates/predict/src/estimators.rs:
+crates/predict/src/fallback.rs:
+crates/predict/src/gibbons.rs:
+crates/predict/src/smith.rs:
+crates/predict/src/template.rs:

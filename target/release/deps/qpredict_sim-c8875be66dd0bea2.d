@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qpredict_sim-c8875be66dd0bea2.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libqpredict_sim-c8875be66dd0bea2.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs
+
+/root/repo/target/release/deps/libqpredict_sim-c8875be66dd0bea2.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/estimators.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/tests_support.rs:
+crates/sim/src/timeline.rs:

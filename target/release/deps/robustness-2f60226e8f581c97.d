@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/robustness-2f60226e8f581c97.d: tests/robustness.rs
+
+/root/repo/target/release/deps/robustness-2f60226e8f581c97: tests/robustness.rs
+
+tests/robustness.rs:
+
+# env-dep:CARGO_BIN_EXE_qpredict=/root/repo/target/release/qpredict

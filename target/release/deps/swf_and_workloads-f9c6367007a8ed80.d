@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/swf_and_workloads-f9c6367007a8ed80.d: tests/swf_and_workloads.rs
+
+/root/repo/target/release/deps/swf_and_workloads-f9c6367007a8ed80: tests/swf_and_workloads.rs
+
+tests/swf_and_workloads.rs:

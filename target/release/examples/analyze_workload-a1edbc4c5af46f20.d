@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/analyze_workload-a1edbc4c5af46f20.d: examples/analyze_workload.rs
+
+/root/repo/target/release/examples/analyze_workload-a1edbc4c5af46f20: examples/analyze_workload.rs
+
+examples/analyze_workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-c4fd0fda8aa3b378.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-c4fd0fda8aa3b378: examples/quickstart.rs
+
+examples/quickstart.rs:

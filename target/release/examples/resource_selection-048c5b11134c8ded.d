@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/resource_selection-048c5b11134c8ded.d: examples/resource_selection.rs
+
+/root/repo/target/release/examples/resource_selection-048c5b11134c8ded: examples/resource_selection.rs
+
+examples/resource_selection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/scheduler_comparison-aeacc34ca4ceca85.d: examples/scheduler_comparison.rs
+
+/root/repo/target/release/examples/scheduler_comparison-aeacc34ca4ceca85: examples/scheduler_comparison.rs
+
+examples/scheduler_comparison.rs:

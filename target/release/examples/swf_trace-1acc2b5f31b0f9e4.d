@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/swf_trace-1acc2b5f31b0f9e4.d: examples/swf_trace.rs
+
+/root/repo/target/release/examples/swf_trace-1acc2b5f31b0f9e4: examples/swf_trace.rs
+
+examples/swf_trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/template_search-6eff666273f97025.d: examples/template_search.rs
+
+/root/repo/target/release/examples/template_search-6eff666273f97025: examples/template_search.rs
+
+examples/template_search.rs:

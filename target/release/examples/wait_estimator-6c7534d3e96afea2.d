@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/wait_estimator-6c7534d3e96afea2.d: examples/wait_estimator.rs
+
+/root/repo/target/release/examples/wait_estimator-6c7534d3e96afea2: examples/wait_estimator.rs
+
+examples/wait_estimator.rs:

@@ -12,7 +12,11 @@ fn simulate_toy_reports_metrics() {
         .args(["simulate", "toy", "--jobs", "300", "--nodes", "32"])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("utilization"), "{text}");
     assert!(text.contains("mean wait"), "{text}");
@@ -55,11 +59,22 @@ fn generate_then_analyze_round_trip() {
 fn waitpred_runs_on_site() {
     let out = bin()
         .args([
-            "waitpred", "SDSC95", "--jobs", "200", "--alg", "lwf", "--predictor", "maxrt",
+            "waitpred",
+            "SDSC95",
+            "--jobs",
+            "200",
+            "--alg",
+            "lwf",
+            "--predictor",
+            "maxrt",
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("wait MAE"), "{text}");
 }

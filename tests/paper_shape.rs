@@ -25,7 +25,10 @@ fn builtin_error_lwf_much_larger_than_backfill() {
         lwf_pct > 2.0 * bf_pct,
         "LWF built-in error ({lwf_pct:.0}%) should dwarf backfill's ({bf_pct:.0}%)"
     );
-    assert!(bf_pct < 25.0, "backfill built-in error should be small, got {bf_pct:.0}%");
+    assert!(
+        bf_pct < 25.0,
+        "backfill built-in error should be small, got {bf_pct:.0}%"
+    );
 }
 
 /// Tables 5 vs 6: the Smith predictor's wait predictions beat maximum
@@ -83,9 +86,7 @@ fn utilization_is_predictor_insensitive() {
                 PredictorKind::Gibbons,
             ]
             .into_iter()
-            .map(|k| {
-                run_scheduling(&wl, alg, k).metrics.utilization_window
-            })
+            .map(|k| run_scheduling(&wl, alg, k).metrics.utilization_window)
             .collect();
             let spread = utils.iter().cloned().fold(f64::MIN, f64::max)
                 - utils.iter().cloned().fold(f64::MAX, f64::min);

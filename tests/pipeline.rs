@@ -54,7 +54,11 @@ fn schedule_never_oversubscribes() {
 #[test]
 fn entire_pipeline_is_deterministic() {
     let wl = synthetic::toy(300, 32, 103);
-    for kind in [PredictorKind::Smith, PredictorKind::Gibbons, PredictorKind::DowneyMedian] {
+    for kind in [
+        PredictorKind::Smith,
+        PredictorKind::Gibbons,
+        PredictorKind::DowneyMedian,
+    ] {
         let a = run_scheduling(&wl, Algorithm::Backfill, kind.clone());
         let b = run_scheduling(&wl, Algorithm::Backfill, kind.clone());
         assert_eq!(a.metrics.mean_wait, b.metrics.mean_wait, "{kind}");

@@ -1,52 +1,50 @@
-//! Property-based tests over the core invariants of the stack.
-
-use proptest::prelude::*;
+//! Randomized tests over the core invariants of the stack.
+//!
+//! Deterministic seeded loops stand in for an external property-testing
+//! harness: the workspace must build offline with no crates beyond std.
+//! Every case is reproducible from the loop seed printed on failure.
 
 use qpredict::core::{forecast_start, PredictorKind};
 use qpredict::prelude::*;
 use qpredict::sim::{ActualEstimator, Profile, Simulation};
-use qpredict::workload::synthetic;
+use qpredict::workload::{synthetic, Rng64};
 
-/// Strategy: a small random workload on an 8–64 node machine.
-fn arb_workload() -> impl Strategy<Value = Workload> {
-    (
-        2u32..=6,                        // machine = 2^k nodes
-        1usize..=60,                     // jobs
-        proptest::collection::vec((0i64..5_000, 1u32..=64, 1i64..2_000, 1i64..4_000), 1..60),
-    )
-        .prop_map(|(mexp, _n, specs)| {
-            let machine = 1u32 << mexp;
-            let mut w = Workload::new("prop", machine);
-            w.jobs = specs
-                .into_iter()
-                .enumerate()
-                .map(|(i, (submit, nodes, rt, maxrt))| {
-                    JobBuilder::new()
-                        .submit(Time(submit))
-                        .nodes(nodes.min(machine))
-                        .runtime(Dur(rt))
-                        .max_runtime(Dur(maxrt.max(rt)))
-                        .build(JobId(i as u32))
-                })
-                .collect();
-            w.finalize();
-            w
+/// A small random workload on a 4–64 node machine.
+fn random_workload(rng: &mut Rng64) -> Workload {
+    let machine = 1u32 << (2 + rng.gen_index(5)); // 4..=64 nodes
+    let n = 1 + rng.gen_index(60);
+    let mut w = Workload::new("prop", machine);
+    w.jobs = (0..n)
+        .map(|i| {
+            let submit = rng.gen_range_i64(0, 4_999);
+            let nodes = (1 + rng.gen_index(64) as u32).min(machine);
+            let rt = rng.gen_range_i64(1, 1_999);
+            let maxrt = rng.gen_range_i64(1, 3_999).max(rt);
+            JobBuilder::new()
+                .submit(Time(submit))
+                .nodes(nodes)
+                .runtime(Dur(rt))
+                .max_runtime(Dur(maxrt))
+                .build(JobId(i as u32))
         })
+        .collect();
+    w.finalize();
+    w
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Every algorithm finishes every job; no job starts early; run
-    /// times pass through untouched; the machine is never oversubscribed.
-    #[test]
-    fn engine_invariants(wl in arb_workload(), alg_idx in 0usize..3) {
-        let alg = [Algorithm::Fcfs, Algorithm::Lwf, Algorithm::Backfill][alg_idx];
+/// Every algorithm finishes every job; no job starts early; run
+/// times pass through untouched; the machine is never oversubscribed.
+#[test]
+fn engine_invariants() {
+    for seed in 0u64..64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let wl = random_workload(&mut rng);
+        let alg = [Algorithm::Fcfs, Algorithm::Lwf, Algorithm::Backfill][rng.gen_index(3)];
         let result = Simulation::run(&wl, alg, &mut ActualEstimator);
-        prop_assert_eq!(result.outcomes.len(), wl.len());
+        assert_eq!(result.outcomes.len(), wl.len(), "seed {seed}");
         for o in &result.outcomes {
-            prop_assert!(o.start >= o.submit);
-            prop_assert_eq!(o.finish - o.start, wl.job(o.id).runtime);
+            assert!(o.start >= o.submit, "seed {seed}");
+            assert_eq!(o.finish - o.start, wl.job(o.id).runtime, "seed {seed}");
         }
         // Node accounting sweep.
         let mut events: Vec<(Time, i64)> = Vec::new();
@@ -58,65 +56,78 @@ proptest! {
         let mut used = 0i64;
         for (_, d) in events {
             used += d;
-            prop_assert!(used <= wl.machine_nodes as i64);
+            assert!(
+                used <= wl.machine_nodes as i64,
+                "seed {seed}: oversubscribed"
+            );
         }
     }
+}
 
-    /// FCFS preserves arrival order of start times.
-    #[test]
-    fn fcfs_starts_in_arrival_order(wl in arb_workload()) {
+/// FCFS preserves arrival order of start times.
+#[test]
+fn fcfs_starts_in_arrival_order() {
+    for seed in 0u64..64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let wl = random_workload(&mut rng);
         let result = Simulation::run(&wl, Algorithm::Fcfs, &mut ActualEstimator);
         for pair in result.outcomes.windows(2) {
-            prop_assert!(pair[0].start <= pair[1].start,
-                "FCFS must start jobs in arrival order");
+            assert!(
+                pair[0].start <= pair[1].start,
+                "seed {seed}: FCFS must start jobs in arrival order"
+            );
         }
     }
+}
 
-    /// FCFS + oracle forecasts are exact for every job of every random
-    /// workload (the Table 4 argument, property-tested).
-    #[test]
-    fn fcfs_oracle_forecast_exact(wl in arb_workload()) {
-        let out = qpredict::core::run_wait_prediction(
-            &wl, Algorithm::Fcfs, PredictorKind::Actual);
-        prop_assert_eq!(out.wait_errors.mean_abs_error_min(), 0.0);
+/// FCFS + oracle forecasts are exact for every job of every random
+/// workload (the Table 4 argument, randomly probed).
+#[test]
+fn fcfs_oracle_forecast_exact() {
+    for seed in 0u64..32 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let wl = random_workload(&mut rng);
+        let out = qpredict::core::run_wait_prediction(&wl, Algorithm::Fcfs, PredictorKind::Actual);
+        assert_eq!(out.wait_errors.mean_abs_error_min(), 0.0, "seed {seed}");
     }
+}
 
-    /// Backfill never delays a job past the start FCFS would give it
-    /// when the scheduler knows exact run times... that guarantee holds
-    /// only against the *reservation*, so assert the weaker, true
-    /// invariant: with exact estimates, no job's backfill start is later
-    /// than its start in a machine that runs jobs strictly one at a time
-    /// in arrival order (the worst feasible schedule).
-    #[test]
-    fn backfill_beats_serial_execution(wl in arb_workload()) {
+/// With exact estimates, no job's backfill start is later than its start
+/// in a machine that runs jobs strictly one at a time in arrival order
+/// (the worst feasible schedule).
+#[test]
+fn backfill_beats_serial_execution() {
+    for seed in 0u64..64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let wl = random_workload(&mut rng);
         let bf = Simulation::run(&wl, Algorithm::Backfill, &mut ActualEstimator);
         // Strictly serial: each job starts after all earlier jobs finished.
         let mut t = Time::ZERO;
         for (o, j) in bf.outcomes.iter().zip(&wl.jobs) {
             t = t.max(j.submit);
-            prop_assert!(o.start <= t + Dur(
-                wl.jobs.iter().map(|x| x.runtime.seconds()).sum::<i64>()),
-                "absurdly late start");
+            assert!(
+                o.start <= t + Dur(wl.jobs.iter().map(|x| x.runtime.seconds()).sum::<i64>()),
+                "seed {seed}: absurdly late start"
+            );
             t += j.runtime;
             let _ = o;
         }
     }
+}
 
-    /// Profile: any reservation placed at `earliest_fit` keeps the
-    /// profile valid and the window genuinely free.
-    #[test]
-    fn profile_fit_reserve_invariant(
-        running in proptest::collection::vec((1u32..=16, 1i64..500), 0..6),
-        requests in proptest::collection::vec((1u32..=32, 1i64..300), 1..20),
-    ) {
+/// Profile: any reservation placed at `earliest_fit` keeps the profile
+/// valid and the window genuinely free.
+#[test]
+fn profile_fit_reserve_invariant() {
+    for seed in 0u64..64 {
+        let mut rng = Rng64::seed_from_u64(seed);
         let machine = 32u32;
-        let used: u32 = running.iter().map(|&(n, _)| n.min(8)).sum::<u32>().min(machine);
-        let _ = used;
         // Keep running jobs within capacity by construction.
         let mut acc = 0u32;
-        let running_ok: Vec<(u32, Time)> = running
-            .iter()
-            .filter_map(|&(n, end)| {
+        let running: Vec<(u32, Time)> = (0..rng.gen_index(6))
+            .filter_map(|_| {
+                let n = 1 + rng.gen_index(16) as u32;
+                let end = rng.gen_range_i64(1, 499);
                 if acc + n <= machine {
                     acc += n;
                     Some((n, Time(end)))
@@ -125,37 +136,46 @@ proptest! {
                 }
             })
             .collect();
-        let mut p = Profile::new(machine, Time(0), &running_ok);
-        for (nodes, dur) in requests {
-            let nodes = nodes.min(machine);
-            let d = Dur(dur);
+        let mut p = Profile::new(machine, Time(0), &running);
+        for _ in 0..(1 + rng.gen_index(19)) {
+            let nodes = (1 + rng.gen_index(32) as u32).min(machine);
+            let d = Dur(rng.gen_range_i64(1, 299));
             let at = p.earliest_fit(nodes, d);
-            prop_assert!(p.free_at(at) >= nodes);
+            assert!(p.free_at(at) >= nodes, "seed {seed}");
             p.reserve(at, d, nodes);
-            prop_assert!(p.check().is_ok());
+            assert!(p.check().is_ok(), "seed {seed}");
         }
     }
+}
 
-    /// Interarrival compression by a rational factor preserves job count,
-    /// run times, and ordering.
-    #[test]
-    fn compression_preserves_structure(wl in arb_workload(), f in 1u32..=5) {
+/// Interarrival compression by a rational factor preserves job count,
+/// run times, and ordering.
+#[test]
+fn compression_preserves_structure() {
+    for seed in 0u64..32 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let wl = random_workload(&mut rng);
+        let f = 1 + rng.gen_index(5) as u32;
         let c = qpredict::workload::compress_interarrivals(&wl, f as f64);
-        prop_assert_eq!(c.len(), wl.len());
-        prop_assert!(c.validate().is_ok());
+        assert_eq!(c.len(), wl.len(), "seed {seed}");
+        assert!(c.validate().is_ok(), "seed {seed}");
         // Note: jobs may be renumbered if equal submit times reorder, so
         // compare multisets of runtimes.
         let mut a: Vec<i64> = wl.jobs.iter().map(|j| j.runtime.seconds()).collect();
         let mut b: Vec<i64> = c.jobs.iter().map(|j| j.runtime.seconds()).collect();
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "seed {seed}");
     }
+}
 
-    /// Predictions from every predictor are positive and at least
-    /// `elapsed + 1` for running jobs, whatever the history.
-    #[test]
-    fn predictions_respect_elapsed(seed in 0u64..50, elapsed in 0i64..10_000) {
+/// Predictions from every predictor are positive and at least
+/// `elapsed + 1` for running jobs, whatever the history.
+#[test]
+fn predictions_respect_elapsed() {
+    for seed in 0u64..50 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let elapsed = rng.gen_range_i64(0, 9_999);
         let wl = synthetic::toy(60, 16, seed);
         for kind in PredictorKind::ALL {
             let mut p = kind.build(&wl);
@@ -165,22 +185,36 @@ proptest! {
                 p.on_complete(j);
             }
             let pred = p.predict(&wl.jobs[40], Dur(elapsed));
-            prop_assert!(pred.estimate >= Dur(elapsed + 1),
-                "{}: {:?} given elapsed {}", kind.name(), pred.estimate, elapsed);
+            assert!(
+                pred.estimate >= Dur(elapsed + 1),
+                "{}: {:?} given elapsed {} (seed {seed})",
+                kind.name(),
+                pred.estimate,
+                elapsed
+            );
         }
     }
+}
 
-    /// Forecast monotonicity: a target behind a *longer-believed* queue
-    /// never starts earlier under FCFS.
-    #[test]
-    fn fcfs_forecast_monotone_in_predictions(
-        base in 10i64..500,
-        extra in 0i64..500,
-    ) {
+/// Forecast monotonicity: a target behind a *longer-believed* queue
+/// never starts earlier under FCFS.
+#[test]
+fn fcfs_forecast_monotone_in_predictions() {
+    for seed in 0u64..64 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let base = rng.gen_range_i64(10, 499);
+        let extra = rng.gen_range_i64(0, 499);
         let mut w = Workload::new("t", 8);
         w.jobs = vec![
-            JobBuilder::new().nodes(8).runtime(Dur(base)).build(JobId(0)),
-            JobBuilder::new().nodes(8).runtime(Dur(50)).submit(Time(1)).build(JobId(1)),
+            JobBuilder::new()
+                .nodes(8)
+                .runtime(Dur(base))
+                .build(JobId(0)),
+            JobBuilder::new()
+                .nodes(8)
+                .runtime(Dur(50))
+                .submit(Time(1))
+                .build(JobId(1)),
         ];
         w.finalize();
         let snap = qpredict::sim::Snapshot {
@@ -189,11 +223,22 @@ proptest! {
             running: vec![(JobId(0), Time(0))],
             queued: vec![(JobId(1), 0)],
         };
-        let short = forecast_start(&w, Algorithm::Fcfs, &snap,
-            |_, e| Dur(base).max(e + Dur(1)), |_, e| Dur(base).max(e + Dur(1)), JobId(1));
-        let long = forecast_start(&w, Algorithm::Fcfs, &snap,
+        let short = forecast_start(
+            &w,
+            Algorithm::Fcfs,
+            &snap,
+            |_, e| Dur(base).max(e + Dur(1)),
+            |_, e| Dur(base).max(e + Dur(1)),
+            JobId(1),
+        );
+        let long = forecast_start(
+            &w,
+            Algorithm::Fcfs,
+            &snap,
             |_, e| Dur(base + extra).max(e + Dur(1)),
-            |_, e| Dur(base + extra).max(e + Dur(1)), JobId(1));
-        prop_assert!(long >= short);
+            |_, e| Dur(base + extra).max(e + Dur(1)),
+            JobId(1),
+        );
+        assert!(long >= short, "seed {seed}");
     }
 }

@@ -81,7 +81,11 @@ fn sdsc_queues_correlate_with_runtime() {
         .filter(|(q, _)| q.is_some())
         .map(|(_, d)| d.as_secs_f64())
         .collect();
-    assert!(named.len() >= 10, "expected many queues, got {}", named.len());
+    assert!(
+        named.len() >= 10,
+        "expected many queues, got {}",
+        named.len()
+    );
     let hi = named.iter().cloned().fold(f64::MIN, f64::max);
     let lo = named.iter().cloned().fold(f64::MAX, f64::min);
     assert!(hi / lo > 10.0, "queue maxima span too narrow: {lo}..{hi}");
