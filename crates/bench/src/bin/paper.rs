@@ -20,7 +20,10 @@ use qpredict_core::grid::default_threads;
 use qpredict_core::paper::{self, Scale};
 use qpredict_core::tables::Table;
 use qpredict_core::PredictorKind;
-use qpredict_search::{greedy_search, search, GaConfig, GreedyConfig, PredictionWorkload, Target};
+use qpredict_search::{
+    greedy_search, search, search_supervised, GaConfig, GreedyConfig, PredictionWorkload,
+    SupervisorConfig, Target,
+};
 use qpredict_sim::Algorithm;
 use qpredict_workload::Workload;
 
@@ -174,7 +177,13 @@ fn ga_search(wls: &[Workload], threads: usize) -> Table {
     let mut t = Table::new(
         "ga-search",
         "Genetic template search per workload (train/validate on wait-prediction streams)",
-        &["Workload", "Curated val MAE", "GA val MAE", "Winner"],
+        &[
+            "Workload",
+            "Curated val MAE",
+            "GA val MAE",
+            "Winner",
+            "Health",
+        ],
     );
     for wl in wls {
         let train =
@@ -194,7 +203,13 @@ fn ga_search(wls: &[Workload], threads: usize) -> Table {
             seeds: vec![curated.clone()],
             ..GaConfig::default()
         };
-        let r = search(wl, &train, &cfg);
+        let sup = SupervisorConfig {
+            threads,
+            ..SupervisorConfig::default()
+        };
+        let supervised =
+            search_supervised(wl, &train, &cfg, &sup, None).expect("unfaulted search is clean");
+        let (r, health) = (supervised.result, supervised.health);
         let curated_val = qpredict_search::evaluate(&curated, wl, &val).mean_abs_error_min();
         let ga_val = qpredict_search::evaluate(&r.best, wl, &val).mean_abs_error_min();
         let ga_wins = ga_val < curated_val;
@@ -203,6 +218,10 @@ fn ga_search(wls: &[Workload], threads: usize) -> Table {
             format!("{curated_val:.2}"),
             format!("{ga_val:.2}"),
             if ga_wins { "GA" } else { "curated" }.to_string(),
+            format!(
+                "{} attempts, {} retries, {} quarantined",
+                health.attempts, health.retries, health.quarantined
+            ),
         ]);
         if ga_wins {
             eprintln!(

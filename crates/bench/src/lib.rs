@@ -1,7 +1,7 @@
 //! Shared helpers for the benchmark harness and the `paper` table
 //! regenerator.
 //!
-//! The benchmarks use the self-contained [`bench`] timer rather than an
+//! The benchmarks use the self-contained [`bench()`] timer rather than an
 //! external harness crate: the workspace must build with no dependencies
 //! outside the standard library (offline environments), and plain
 //! wall-clock medians are enough to catch the order-of-magnitude

@@ -15,6 +15,9 @@
 //! * [`PredictorKind`] — uniform construction of every predictor the
 //!   paper compares (actual, maximum run times, Smith, Gibbons, Downey
 //!   x2);
+//! * [`template_search`] — the supervised, resumable GA template search
+//!   (checkpoint/restore, panic-isolated retrying evaluation) packaged
+//!   as a harness step;
 //! * [`paper`] — one function per paper table, with the published values
 //!   embedded for side-by-side comparison;
 //! * [`grid`] — a parallel runner for experiment grids
@@ -29,6 +32,7 @@ pub mod scheduling;
 pub mod searched;
 pub mod statewait;
 pub mod tables;
+pub mod template_search;
 pub mod waittime;
 
 pub use adapter::PredictorEstimator;
@@ -38,4 +42,5 @@ pub use kind::PredictorKind;
 pub use scheduling::{run_scheduling, run_scheduling_with, FaultSummary, SchedulingOutcome};
 pub use statewait::{run_state_wait_prediction, StateWaitPredictor};
 pub use tables::Table;
+pub use template_search::{run_template_search, TemplateSearchOutcome, TemplateSearchSpec};
 pub use waittime::{run_wait_prediction, run_wait_prediction_warm, WaitPredictionOutcome};

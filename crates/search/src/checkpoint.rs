@@ -1,0 +1,783 @@
+//! Versioned, deterministic checkpoint format for the GA search.
+//!
+//! A [`Checkpoint`] snapshots everything the search needs to continue
+//! bit-identically: the population, the RNG state, the generation
+//! counter, the best-so-far individual, the fitness trace, and the
+//! accumulated [`SearchHealth`]. The codec is a line-oriented, std-only
+//! text format:
+//!
+//! ```text
+//! qpredict-ga-checkpoint v1
+//! config pop=<n> elitism=<n> mutation=<f64 bits hex> fmin=<f64 bits hex> seed=<hex> seeds=<hex>
+//! rng <s0> <s1> <s2> <s3>
+//! gen <n>
+//! evals <n>
+//! best <f64 bits hex> <chromosome as 0/1 string>
+//! hist <f64 bits hex> ...
+//! health attempts=<n> retries=<n> panics=<n> budget=<n> errors=<n> quarantined=<n> injected=<n> resumes=<n>
+//! pop <chromosome as 0/1 string>        (one line per individual)
+//! sum <FNV-1a 64 of everything above, hex>
+//! ```
+//!
+//! Floating-point values are written as the hex of their IEEE-754 bit
+//! patterns, so decode∘encode is the identity and a resumed run's
+//! fitness trace is *byte*-identical to an uninterrupted one. Loading
+//! verifies the trailing checksum before believing any field, so a
+//! truncated or bit-flipped file is rejected with a typed
+//! [`CheckpointError`], never a panic or a silent garbage resume.
+//! [`Checkpoint::save_atomic`] writes to a temporary file and renames it
+//! into place, so a kill mid-write leaves the previous checkpoint
+//! intact.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use qpredict_workload::Rng64;
+
+use crate::encoding::{Chromosome, BITS_PER_TEMPLATE};
+use crate::ga::GaConfig;
+use crate::supervisor::SearchHealth;
+
+/// First line of every checkpoint file; bump `v1` on breaking changes.
+pub const CHECKPOINT_MAGIC: &str = "qpredict-ga-checkpoint v1";
+
+/// Default checkpoint file name inside a `--checkpoint-dir`.
+pub const CHECKPOINT_FILE: &str = "ga.ckpt";
+
+/// The GA-configuration facets that must match for a resume to be
+/// bit-identical to the original run. `generations` is deliberately
+/// excluded so a finished run may be extended; `threads` is excluded
+/// because evaluation outcomes are thread-count-invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFingerprint {
+    /// Individuals per generation.
+    pub population: usize,
+    /// Individuals preserved unmutated each generation.
+    pub elitism: usize,
+    /// Per-bit mutation probability (compared by bit pattern).
+    pub mutation_rate: f64,
+    /// Minimum scaled fitness (compared by bit pattern).
+    pub f_min: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// FNV-1a 64 hash over the encoded warm-start seed sets.
+    pub seeds_hash: u64,
+}
+
+impl ConfigFingerprint {
+    /// The fingerprint of a [`GaConfig`].
+    pub fn of(cfg: &GaConfig) -> ConfigFingerprint {
+        let mut hash = FNV_OFFSET;
+        for set in &cfg.seeds {
+            for bit in crate::encoding::encode(set) {
+                hash = fnv1a_byte(hash, bit as u8 + b'0');
+            }
+            hash = fnv1a_byte(hash, b';');
+        }
+        ConfigFingerprint {
+            population: cfg.population,
+            elitism: cfg.elitism,
+            mutation_rate: cfg.mutation_rate,
+            f_min: cfg.f_min,
+            seed: cfg.seed,
+            seeds_hash: hash,
+        }
+    }
+
+    /// The first facet that differs from `other`, as
+    /// `(name, stored, current)` — the payload of
+    /// [`CheckpointError::ConfigMismatch`].
+    pub fn mismatch(&self, other: &ConfigFingerprint) -> Option<(&'static str, String, String)> {
+        if self.population != other.population {
+            return Some((
+                "population",
+                self.population.to_string(),
+                other.population.to_string(),
+            ));
+        }
+        if self.elitism != other.elitism {
+            return Some((
+                "elitism",
+                self.elitism.to_string(),
+                other.elitism.to_string(),
+            ));
+        }
+        if self.mutation_rate.to_bits() != other.mutation_rate.to_bits() {
+            return Some((
+                "mutation_rate",
+                self.mutation_rate.to_string(),
+                other.mutation_rate.to_string(),
+            ));
+        }
+        if self.f_min.to_bits() != other.f_min.to_bits() {
+            return Some(("f_min", self.f_min.to_string(), other.f_min.to_string()));
+        }
+        if self.seed != other.seed {
+            return Some(("seed", self.seed.to_string(), other.seed.to_string()));
+        }
+        if self.seeds_hash != other.seeds_hash {
+            return Some((
+                "seeds",
+                format!("{:016X}", self.seeds_hash),
+                format!("{:016X}", other.seeds_hash),
+            ));
+        }
+        None
+    }
+}
+
+/// A complete snapshot of a GA search between generations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Fingerprint of the configuration that produced this state.
+    pub config: ConfigFingerprint,
+    /// Generations completed (the next [`crate::ga::GaRunner::step`]
+    /// runs this generation index).
+    pub generation: usize,
+    /// Fitness evaluations charged so far.
+    pub evaluations: usize,
+    /// GA RNG state ([`Rng64::state`]) at the generation boundary.
+    pub rng_state: [u64; 4],
+    /// Best error so far, minutes.
+    pub best_error: f64,
+    /// Best chromosome so far.
+    pub best: Chromosome,
+    /// Best error per completed generation.
+    pub error_history: Vec<f64>,
+    /// Accumulated supervision health.
+    pub health: SearchHealth,
+    /// The population the next generation starts from.
+    pub population: Vec<Chromosome>,
+}
+
+/// Why a checkpoint could not be saved or loaded. Every variant is a
+/// typed, printable error — corruption is *detected*, never propagated.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure (with the operation and path in the message).
+    Io {
+        /// What was being attempted, e.g. `"read /dir/ga.ckpt"`.
+        op: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with [`CHECKPOINT_MAGIC`] — not a
+    /// checkpoint, or a format version this build does not speak.
+    BadMagic {
+        /// The first line actually found (truncated).
+        found: String,
+    },
+    /// The trailing checksum does not match the body: the file was
+    /// truncated or corrupted.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the body as read.
+        computed: u64,
+    },
+    /// A line failed to parse after the checksum verified (version skew
+    /// within v1 would land here).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The checkpoint was produced under a different GA configuration;
+    /// resuming would not be bit-identical.
+    ConfigMismatch {
+        /// Which facet differs.
+        field: &'static str,
+        /// Value stored in the checkpoint.
+        stored: String,
+        /// Value in the current configuration.
+        current: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { op, source } => write!(f, "checkpoint I/O: {op}: {source}"),
+            CheckpointError::BadMagic { found } => write!(
+                f,
+                "not a checkpoint (expected {CHECKPOINT_MAGIC:?}, found {found:?})"
+            ),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint corrupt: checksum {computed:016X} != recorded {stored:016X} \
+                 (truncated or bit-flipped file)"
+            ),
+            CheckpointError::Malformed { line, reason } => {
+                write!(f, "checkpoint malformed at line {line}: {reason}")
+            }
+            CheckpointError::ConfigMismatch {
+                field,
+                stored,
+                current,
+            } => write!(
+                f,
+                "checkpoint was produced under a different configuration: \
+                 {field} was {stored}, now {current}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+fn fnv1a_byte(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| fnv1a_byte(h, b))
+}
+
+fn bits_to_string(bits: &[bool]) -> String {
+    bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
+}
+
+impl Checkpoint {
+    /// Serialize to the text format described in the module docs.
+    pub fn encode(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(256 + self.population.len() * 240);
+        let _ = writeln!(s, "{CHECKPOINT_MAGIC}");
+        let c = &self.config;
+        let _ = writeln!(
+            s,
+            "config pop={} elitism={} mutation={:016X} fmin={:016X} seed={:016X} seeds={:016X}",
+            c.population,
+            c.elitism,
+            c.mutation_rate.to_bits(),
+            c.f_min.to_bits(),
+            c.seed,
+            c.seeds_hash
+        );
+        let r = self.rng_state;
+        let _ = writeln!(
+            s,
+            "rng {:016X} {:016X} {:016X} {:016X}",
+            r[0], r[1], r[2], r[3]
+        );
+        let _ = writeln!(s, "gen {}", self.generation);
+        let _ = writeln!(s, "evals {}", self.evaluations);
+        let _ = writeln!(
+            s,
+            "best {:016X} {}",
+            self.best_error.to_bits(),
+            bits_to_string(&self.best)
+        );
+        let _ = write!(s, "hist");
+        for e in &self.error_history {
+            let _ = write!(s, " {:016X}", e.to_bits());
+        }
+        s.push('\n');
+        let h = &self.health;
+        let _ = writeln!(
+            s,
+            "health attempts={} retries={} panics={} budget={} errors={} quarantined={} \
+             injected={} resumes={}",
+            h.attempts,
+            h.retries,
+            h.panics,
+            h.budget_exhausted,
+            h.eval_errors,
+            h.quarantined,
+            h.injected_faults,
+            h.resumes
+        );
+        for c in &self.population {
+            let _ = writeln!(s, "pop {}", bits_to_string(c));
+        }
+        let _ = writeln!(s, "sum {:016X}", fnv1a(s.as_bytes()));
+        s
+    }
+
+    /// Parse and validate the text format. The checksum is verified
+    /// before any field is interpreted.
+    pub fn decode(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let body_end = match text.rfind("\nsum ") {
+            Some(i) => i + 1, // keep the newline in the checksummed body
+            None => {
+                // No checksum line at all: distinguish "not a
+                // checkpoint" from "truncated checkpoint".
+                if !text.starts_with(CHECKPOINT_MAGIC) {
+                    return Err(CheckpointError::BadMagic {
+                        found: text.lines().next().unwrap_or("").chars().take(60).collect(),
+                    });
+                }
+                return Err(CheckpointError::Malformed {
+                    line: text.lines().count().max(1),
+                    reason: "missing trailing checksum line (truncated file?)".into(),
+                });
+            }
+        };
+        let (body, sum_line) = text.split_at(body_end);
+        let stored = sum_line
+            .trim_end()
+            .strip_prefix("sum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or(CheckpointError::Malformed {
+                line: text.lines().count().max(1),
+                reason: "unreadable checksum line".into(),
+            })?;
+        let computed = fnv1a(body.as_bytes());
+        if stored != computed {
+            return Err(CheckpointError::ChecksumMismatch { stored, computed });
+        }
+
+        let mut lines = body.lines().enumerate();
+        let malformed = |line: usize, reason: String| CheckpointError::Malformed {
+            line: line + 1,
+            reason,
+        };
+        let (_, magic) = lines.next().ok_or(CheckpointError::BadMagic {
+            found: String::new(),
+        })?;
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic {
+                found: magic.chars().take(60).collect(),
+            });
+        }
+
+        let mut config = None;
+        let mut rng_state = None;
+        let mut generation = None;
+        let mut evaluations = None;
+        let mut best = None;
+        let mut error_history = None;
+        let mut health = None;
+        let mut population: Vec<Chromosome> = Vec::new();
+
+        for (ln, line) in lines {
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "config" => config = Some(parse_config(rest).map_err(|r| malformed(ln, r))?),
+                "rng" => {
+                    let words: Vec<u64> = rest
+                        .split_whitespace()
+                        .map(|w| u64::from_str_radix(w, 16))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| malformed(ln, format!("bad rng word: {e}")))?;
+                    let s: [u64; 4] = words
+                        .try_into()
+                        .map_err(|_| malformed(ln, "rng needs exactly 4 words".into()))?;
+                    rng_state = Some(s);
+                }
+                "gen" => {
+                    generation = Some(
+                        rest.parse::<usize>()
+                            .map_err(|e| malformed(ln, format!("bad generation: {e}")))?,
+                    )
+                }
+                "evals" => {
+                    evaluations = Some(
+                        rest.parse::<usize>()
+                            .map_err(|e| malformed(ln, format!("bad evaluations: {e}")))?,
+                    )
+                }
+                "best" => {
+                    let (err_hex, bits) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| malformed(ln, "best needs error and bits".into()))?;
+                    let err = f64::from_bits(
+                        u64::from_str_radix(err_hex, 16)
+                            .map_err(|e| malformed(ln, format!("bad best error: {e}")))?,
+                    );
+                    best = Some((err, parse_bits(bits).map_err(|r| malformed(ln, r))?));
+                }
+                "hist" => {
+                    let hist: Vec<f64> = rest
+                        .split_whitespace()
+                        .map(|w| u64::from_str_radix(w, 16).map(f64::from_bits))
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| malformed(ln, format!("bad history entry: {e}")))?;
+                    error_history = Some(hist);
+                }
+                "health" => health = Some(parse_health(rest).map_err(|r| malformed(ln, r))?),
+                "pop" => population.push(parse_bits(rest).map_err(|r| malformed(ln, r))?),
+                other => {
+                    return Err(malformed(ln, format!("unknown record {other:?}")));
+                }
+            }
+        }
+
+        let require = |name: &str, line: usize| malformed(line, format!("missing {name} record"));
+        let config = config.ok_or_else(|| require("config", 1))?;
+        let rng_state = rng_state.ok_or_else(|| require("rng", 1))?;
+        let generation = generation.ok_or_else(|| require("gen", 1))?;
+        let evaluations = evaluations.ok_or_else(|| require("evals", 1))?;
+        let (best_error, best) = best.ok_or_else(|| require("best", 1))?;
+        let error_history = error_history.ok_or_else(|| require("hist", 1))?;
+        let health = health.ok_or_else(|| require("health", 1))?;
+
+        // Cross-field validation: a verified checksum proves the bytes,
+        // not the semantics.
+        if generation == 0 {
+            return Err(malformed(
+                1,
+                "checkpoint at generation 0 is meaningless".into(),
+            ));
+        }
+        if error_history.len() != generation {
+            return Err(malformed(
+                1,
+                format!(
+                    "history has {} entries for {generation} generations",
+                    error_history.len()
+                ),
+            ));
+        }
+        if population.len() != config.population {
+            return Err(malformed(
+                1,
+                format!(
+                    "population has {} individuals, config says {}",
+                    population.len(),
+                    config.population
+                ),
+            ));
+        }
+        Ok(Checkpoint {
+            config,
+            generation,
+            evaluations,
+            rng_state,
+            best_error,
+            best,
+            error_history,
+            health,
+            population,
+        })
+    }
+
+    /// The checkpoint file inside `dir`.
+    pub fn path_in(dir: &Path) -> PathBuf {
+        dir.join(CHECKPOINT_FILE)
+    }
+
+    /// Write atomically: serialize to `<path>.tmp`, flush, then rename
+    /// over `path`. A kill at any instant leaves either the old or the
+    /// new checkpoint intact, never a torn one.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let io_err = |op: String| move |source: std::io::Error| CheckpointError::Io { op, source };
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(io_err(format!("create {}", dir.display())))?;
+            }
+        }
+        let tmp = path.with_extension("ckpt.tmp");
+        let text = self.encode();
+        {
+            use std::io::Write as _;
+            let mut f =
+                std::fs::File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
+            f.write_all(text.as_bytes())
+                .map_err(io_err(format!("write {}", tmp.display())))?;
+            f.sync_all()
+                .map_err(io_err(format!("sync {}", tmp.display())))?;
+        }
+        std::fs::rename(&tmp, path).map_err(io_err(format!(
+            "rename {} -> {}",
+            tmp.display(),
+            path.display()
+        )))
+    }
+
+    /// Read and decode `path`.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
+            op: format!("read {}", path.display()),
+            source,
+        })?;
+        Checkpoint::decode(&text)
+    }
+
+    /// The [`Rng64`] this checkpoint resumes with.
+    pub fn rng(&self) -> Rng64 {
+        Rng64::from_state(self.rng_state)
+    }
+}
+
+fn parse_kv<'a>(rest: &'a str, want: &[&str]) -> Result<Vec<&'a str>, String> {
+    let mut out = Vec::with_capacity(want.len());
+    let words: Vec<&str> = rest.split_whitespace().collect();
+    if words.len() != want.len() {
+        return Err(format!(
+            "expected {} fields, found {}",
+            want.len(),
+            words.len()
+        ));
+    }
+    for (word, key) in words.iter().zip(want) {
+        let value = word
+            .strip_prefix(key)
+            .and_then(|v| v.strip_prefix('='))
+            .ok_or_else(|| format!("expected {key}=..., found {word:?}"))?;
+        out.push(value);
+    }
+    Ok(out)
+}
+
+fn parse_config(rest: &str) -> Result<ConfigFingerprint, String> {
+    let v = parse_kv(
+        rest,
+        &["pop", "elitism", "mutation", "fmin", "seed", "seeds"],
+    )?;
+    let dec = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|e| format!("bad integer {s:?}: {e}"))
+    };
+    let hex = |s: &str| u64::from_str_radix(s, 16).map_err(|e| format!("bad hex {s:?}: {e}"));
+    Ok(ConfigFingerprint {
+        population: dec(v[0])?,
+        elitism: dec(v[1])?,
+        mutation_rate: f64::from_bits(hex(v[2])?),
+        f_min: f64::from_bits(hex(v[3])?),
+        seed: hex(v[4])?,
+        seeds_hash: hex(v[5])?,
+    })
+}
+
+fn parse_health(rest: &str) -> Result<SearchHealth, String> {
+    let v = parse_kv(
+        rest,
+        &[
+            "attempts",
+            "retries",
+            "panics",
+            "budget",
+            "errors",
+            "quarantined",
+            "injected",
+            "resumes",
+        ],
+    )?;
+    let dec = |s: &str| {
+        s.parse::<u64>()
+            .map_err(|e| format!("bad integer {s:?}: {e}"))
+    };
+    Ok(SearchHealth {
+        attempts: dec(v[0])?,
+        retries: dec(v[1])?,
+        panics: dec(v[2])?,
+        budget_exhausted: dec(v[3])?,
+        eval_errors: dec(v[4])?,
+        quarantined: dec(v[5])?,
+        injected_faults: dec(v[6])?,
+        resumes: dec(v[7])?,
+    })
+}
+
+fn parse_bits(s: &str) -> Result<Chromosome, String> {
+    let bits: Chromosome = s
+        .chars()
+        .map(|c| match c {
+            '0' => Ok(false),
+            '1' => Ok(true),
+            other => Err(format!("invalid chromosome character {other:?}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if bits.is_empty() || !bits.len().is_multiple_of(BITS_PER_TEMPLATE) {
+        return Err(format!(
+            "chromosome length {} is not a positive multiple of {BITS_PER_TEMPLATE}",
+            bits.len()
+        ));
+    }
+    if bits.len() / BITS_PER_TEMPLATE > 10 {
+        return Err(format!(
+            "chromosome has {} templates, the cap is 10",
+            bits.len() / BITS_PER_TEMPLATE
+        ));
+    }
+    Ok(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(gen: usize, pop: usize) -> Checkpoint {
+        let mut rng = Rng64::seed_from_u64(gen as u64 * 31 + pop as u64);
+        let chromo = |rng: &mut Rng64| -> Chromosome {
+            let k = 1 + rng.gen_index(10);
+            (0..k * BITS_PER_TEMPLATE)
+                .map(|_| rng.gen_bool(0.5))
+                .collect()
+        };
+        let population: Vec<Chromosome> = (0..pop).map(|_| chromo(&mut rng)).collect();
+        Checkpoint {
+            config: ConfigFingerprint {
+                population: pop,
+                elitism: 2,
+                mutation_rate: 0.01,
+                f_min: 1.0,
+                seed: 0xCA15_7EAD,
+                seeds_hash: 0xABCD,
+            },
+            generation: gen,
+            evaluations: gen * pop,
+            rng_state: rng.state(),
+            best_error: 12.5 + gen as f64,
+            best: population[0].clone(),
+            error_history: (0..gen).map(|g| 20.0 - g as f64 * 0.25).collect(),
+            health: SearchHealth {
+                attempts: (gen * pop) as u64,
+                retries: 3,
+                panics: 2,
+                budget_exhausted: 1,
+                eval_errors: 0,
+                quarantined: 1,
+                injected_faults: 3,
+                resumes: 1,
+            },
+            population,
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_identity() {
+        let ck = sample(7, 12);
+        let back = Checkpoint::decode(&ck.encode()).expect("round trip");
+        assert_eq!(ck, back);
+    }
+
+    #[test]
+    fn save_load_round_trips_atomically() {
+        let dir = std::env::temp_dir().join("qpredict_ckpt_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = Checkpoint::path_in(&dir);
+        let ck = sample(3, 6);
+        ck.save_atomic(&path).expect("save");
+        // No stray temp file left behind.
+        assert!(!path.with_extension("ckpt.tmp").exists());
+        assert_eq!(Checkpoint::load(&path).expect("load"), ck);
+        // Overwriting is atomic too.
+        let ck2 = sample(4, 6);
+        ck2.save_atomic(&path).expect("save over");
+        assert_eq!(Checkpoint::load(&path).expect("reload"), ck2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let text = sample(5, 8).encode();
+        for cut in [1, text.len() / 3, text.len() / 2, text.len() - 2] {
+            let err = Checkpoint::decode(&text[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::ChecksumMismatch { .. }
+                        | CheckpointError::Malformed { .. }
+                        | CheckpointError::BadMagic { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let text = sample(5, 8).encode();
+        let mut rng = Rng64::seed_from_u64(99);
+        for _ in 0..40 {
+            let mut bytes = text.as_bytes().to_vec();
+            let i = rng.gen_index(bytes.len());
+            bytes[i] ^= 1 << rng.gen_index(7);
+            let Ok(mutated) = String::from_utf8(bytes) else {
+                continue; // non-UTF8 would be an I/O-layer rejection
+            };
+            if mutated == text {
+                continue;
+            }
+            assert!(
+                Checkpoint::decode(&mutated).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_typed() {
+        let err = Checkpoint::decode("not a checkpoint\n").unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic { .. }), "{err}");
+        let err = Checkpoint::decode("").unwrap_err();
+        assert!(matches!(err, CheckpointError::BadMagic { .. }), "{err}");
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Checkpoint::load(Path::new("/nonexistent/qpredict/ga.ckpt")).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }), "{err}");
+        assert!(err.to_string().contains("ga.ckpt"));
+    }
+
+    #[test]
+    fn semantic_inconsistencies_are_rejected() {
+        // A checkpoint whose history length disagrees with its
+        // generation counter re-encodes with a valid checksum but must
+        // still be rejected.
+        let mut ck = sample(4, 6);
+        ck.error_history.pop();
+        let err = Checkpoint::decode(&ck.encode()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+
+        let mut ck = sample(4, 6);
+        ck.population.pop();
+        let err = Checkpoint::decode(&ck.encode()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed { .. }), "{err}");
+    }
+
+    #[test]
+    fn fingerprint_mismatch_reports_first_differing_field() {
+        let cfg = GaConfig::quick(5);
+        let a = ConfigFingerprint::of(&cfg);
+        let b = ConfigFingerprint::of(&GaConfig {
+            population: cfg.population + 2,
+            ..cfg.clone()
+        });
+        let (field, stored, current) = a.mismatch(&b).expect("differs");
+        assert_eq!(field, "population");
+        assert_ne!(stored, current);
+        assert!(a.mismatch(&a.clone()).is_none());
+        // Thread count is not part of the fingerprint.
+        let c = ConfigFingerprint::of(&GaConfig {
+            threads: cfg.threads + 3,
+            generations: cfg.generations + 9,
+            ..cfg
+        });
+        assert!(a.mismatch(&c).is_none());
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip_bitwise() {
+        let mut ck = sample(2, 4);
+        ck.error_history = vec![f64::INFINITY, f64::NAN];
+        ck.best_error = f64::NAN;
+        let back = Checkpoint::decode(&ck.encode()).expect("round trip");
+        assert_eq!(
+            ck.error_history
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>(),
+            back.error_history
+                .iter()
+                .map(|e| e.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(ck.best_error.to_bits(), back.best_error.to_bits());
+    }
+}

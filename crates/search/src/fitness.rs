@@ -2,6 +2,7 @@
 //! recorded prediction workload.
 
 use qpredict_predict::{ErrorStats, RunTimePredictor, SmithPredictor, TemplateSet};
+use qpredict_sim::SimError;
 use qpredict_workload::Workload;
 
 use crate::workloads::{PredEvent, PredictionWorkload};
@@ -23,6 +24,44 @@ pub fn evaluate(set: &TemplateSet, wl: &Workload, pw: &PredictionWorkload) -> Er
         }
     }
     stats
+}
+
+/// The step budget [`evaluate_guarded`] derives when the caller passes
+/// none: every evaluation replays exactly `pw.events.len()` events, so
+/// any legitimate run finishes well inside this.
+pub fn derived_eval_budget(pw: &PredictionWorkload) -> u64 {
+    pw.events.len() as u64 + 1_000
+}
+
+/// Like [`evaluate`], but under a step budget: each replayed event costs
+/// one step, and exceeding `max_steps` aborts with
+/// [`SimError::BudgetExhausted`] — the same watchdog contract
+/// `Simulation::run_guarded` gives the scheduler, applied to the GA's
+/// fitness loop so a hung evaluation cannot wedge a search worker.
+pub fn evaluate_guarded(
+    set: &TemplateSet,
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    max_steps: u64,
+) -> Result<ErrorStats, SimError> {
+    let mut predictor = SmithPredictor::new(set.clone());
+    let mut stats = ErrorStats::new();
+    let mut steps = 0u64;
+    for ev in &pw.events {
+        steps += 1;
+        if steps > max_steps {
+            return Err(SimError::BudgetExhausted { steps: max_steps });
+        }
+        match *ev {
+            PredEvent::Predict { job, elapsed } => {
+                let j = wl.job(job);
+                let pred = predictor.predict(j, elapsed);
+                stats.record(pred.estimate, j.runtime);
+            }
+            PredEvent::Insert { job } => predictor.on_complete(wl.job(job)),
+        }
+    }
+    Ok(stats)
 }
 
 /// Evaluate many template sets in parallel over the same workload,
@@ -124,6 +163,24 @@ mod tests {
         let serial: Vec<_> = sets.iter().map(|s| evaluate(s, &wl, &pw)).collect();
         let parallel = evaluate_many(&sets, &wl, &pw, 4);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn guarded_matches_unguarded_within_budget() {
+        let (wl, pw) = setup();
+        let set = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
+        let plain = evaluate(&set, &wl, &pw);
+        let guarded =
+            evaluate_guarded(&set, &wl, &pw, derived_eval_budget(&pw)).expect("budget is generous");
+        assert_eq!(plain, guarded);
+    }
+
+    #[test]
+    fn guarded_reports_budget_exhaustion() {
+        let (wl, pw) = setup();
+        let set = TemplateSet::new(vec![Template::mean_over(&[])]);
+        let err = evaluate_guarded(&set, &wl, &pw, 3).unwrap_err();
+        assert_eq!(err, SimError::BudgetExhausted { steps: 3 });
     }
 
     #[test]

@@ -14,12 +14,25 @@
 //! * every child bit mutates with probability 0.01;
 //! * the best two individuals survive to the next generation unmutated
 //!   (elitism).
+//!
+//! The search is the longest-running computation in this reproduction,
+//! so it runs under supervision: [`GaRunner`] advances one generation at
+//! a time through the panic-isolated, retrying evaluator of
+//! [`crate::supervisor`], snapshots its complete state into
+//! [`Checkpoint`]s, and [`resume_supervised`] continues a killed run
+//! **bit-identically** — same best template set, same fitness trace —
+//! because every random decision flows from the checkpointed [`Rng64`]
+//! state or from per-`(generation, individual, attempt)` derived
+//! streams.
+
+use std::path::PathBuf;
 
 use qpredict_predict::TemplateSet;
 use qpredict_workload::{Rng64, Workload};
 
+use crate::checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint};
 use crate::encoding::{decode, encode, Chromosome, BITS_PER_TEMPLATE};
-use crate::fitness::evaluate_many;
+use crate::supervisor::{evaluate_generation, EvalOutcome, SearchHealth, SupervisorConfig};
 use crate::workloads::PredictionWorkload;
 
 /// Tunables for [`search`].
@@ -87,84 +100,368 @@ pub struct GaResult {
     pub evaluations: usize,
 }
 
-/// Run the genetic search for a good template set over `pw`.
-pub fn search(wl: &Workload, pw: &PredictionWorkload, cfg: &GaConfig) -> GaResult {
-    assert!(cfg.population >= 4, "population too small");
-    let mut rng = Rng64::seed_from_u64(cfg.seed);
-    let mut population: Vec<Chromosome> = cfg.seeds.iter().map(encode).collect();
-    population.truncate(cfg.population);
-    while population.len() < cfg.population {
-        population.push(random_chromosome(&mut rng));
+/// Outcome of a supervised (and possibly resumed) GA run.
+#[derive(Debug, Clone)]
+pub struct SupervisedResult {
+    /// The search result proper.
+    pub result: GaResult,
+    /// Supervision accounting: retries, quarantines, resumes.
+    pub health: SearchHealth,
+    /// Generation the run was resumed from, if it was.
+    pub resumed_from: Option<usize>,
+}
+
+/// Why a supervised search could not produce a result.
+#[derive(Debug)]
+pub enum SearchError {
+    /// Loading or saving a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// Every individual of a generation was quarantined; there is no
+    /// fitness signal left to select on.
+    GenerationLost {
+        /// The generation that produced no successful evaluation.
+        generation: usize,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Checkpoint(e) => write!(f, "{e}"),
+            SearchError::GenerationLost { generation } => write!(
+                f,
+                "generation {generation} lost: every fitness evaluation failed \
+                 after retries (raise --max-retries or lower the fault rate)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Checkpoint(e) => Some(e),
+            SearchError::GenerationLost { .. } => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for SearchError {
+    fn from(e: CheckpointError) -> SearchError {
+        SearchError::Checkpoint(e)
+    }
+}
+
+/// Where and how often to checkpoint a supervised search.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding the checkpoint file
+    /// ([`Checkpoint::path_in`]).
+    pub dir: PathBuf,
+    /// Snapshot every `every` generations (the final generation is
+    /// always snapshotted). Clamped to at least 1.
+    pub every: usize,
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint into `dir` after every generation.
+    pub fn every_generation(dir: impl Into<PathBuf>) -> CheckpointPolicy {
+        CheckpointPolicy {
+            dir: dir.into(),
+            every: 1,
+        }
     }
 
-    let mut best: Option<(f64, Chromosome)> = None;
-    let mut error_history = Vec::with_capacity(cfg.generations);
-    let mut evaluations = 0;
+    /// The checkpoint file this policy reads and writes.
+    pub fn file(&self) -> PathBuf {
+        Checkpoint::path_in(&self.dir)
+    }
+}
 
-    for _gen in 0..cfg.generations {
-        let sets: Vec<TemplateSet> = population.iter().map(|c| decode(c)).collect();
-        let errors: Vec<f64> = evaluate_many(&sets, wl, pw, cfg.threads)
+/// A resumable GA search, advanced one generation at a time.
+///
+/// All state lives here: construct with [`GaRunner::new`], advance with
+/// [`GaRunner::step`], snapshot with [`GaRunner::checkpoint`], and
+/// rebuild bit-identically with [`GaRunner::from_checkpoint`]. The
+/// convenience drivers [`search`], [`search_supervised`], and
+/// [`resume_supervised`] wrap this loop.
+#[derive(Debug, Clone)]
+pub struct GaRunner {
+    cfg: GaConfig,
+    rng: Rng64,
+    population: Vec<Chromosome>,
+    generation: usize,
+    best: Option<(f64, Chromosome)>,
+    error_history: Vec<f64>,
+    evaluations: usize,
+    health: SearchHealth,
+    resumed_from: Option<usize>,
+}
+
+impl GaRunner {
+    /// A fresh search: seed chromosomes first, the rest random.
+    ///
+    /// # Panics
+    /// Panics if `cfg.population < 4` (the GA needs parents and elites).
+    pub fn new(cfg: &GaConfig) -> GaRunner {
+        assert!(cfg.population >= 4, "population too small");
+        let mut rng = Rng64::seed_from_u64(cfg.seed);
+        let mut population: Vec<Chromosome> = cfg.seeds.iter().map(encode).collect();
+        population.truncate(cfg.population);
+        while population.len() < cfg.population {
+            population.push(random_chromosome(&mut rng));
+        }
+        GaRunner {
+            cfg: cfg.clone(),
+            rng,
+            population,
+            generation: 0,
+            best: None,
+            error_history: Vec::with_capacity(cfg.generations),
+            evaluations: 0,
+            health: SearchHealth::default(),
+            resumed_from: None,
+        }
+    }
+
+    /// Rebuild a runner from a checkpoint. The checkpoint's
+    /// configuration fingerprint must match `cfg`
+    /// ([`ConfigFingerprint::mismatch`]); the resumed run then replays
+    /// exactly the stream an uninterrupted run would have produced.
+    pub fn from_checkpoint(cfg: &GaConfig, ckpt: Checkpoint) -> Result<GaRunner, CheckpointError> {
+        let current = ConfigFingerprint::of(cfg);
+        if let Some((field, stored, now)) = ckpt.config.mismatch(&current) {
+            return Err(CheckpointError::ConfigMismatch {
+                field,
+                stored,
+                current: now,
+            });
+        }
+        let mut health = ckpt.health;
+        health.resumes += 1;
+        Ok(GaRunner {
+            cfg: cfg.clone(),
+            rng: ckpt.rng(),
+            population: ckpt.population,
+            generation: ckpt.generation,
+            best: Some((ckpt.best_error, ckpt.best)),
+            error_history: ckpt.error_history,
+            evaluations: ckpt.evaluations,
+            health,
+            resumed_from: Some(ckpt.generation),
+        })
+    }
+
+    /// Generations completed so far.
+    pub fn generation(&self) -> usize {
+        self.generation
+    }
+
+    /// True once `cfg.generations` generations have run.
+    pub fn is_done(&self) -> bool {
+        self.generation >= self.cfg.generations
+    }
+
+    /// Supervision accounting so far.
+    pub fn health(&self) -> &SearchHealth {
+        &self.health
+    }
+
+    /// Run one generation: supervised evaluation, fitness scaling,
+    /// elitism, selection, crossover, mutation.
+    ///
+    /// Quarantined individuals (every attempt failed) take part in
+    /// selection with the worst fitness of their generation (`f_min`)
+    /// and are excluded from best-tracking and fitness scaling —
+    /// graceful degradation instead of a lost run. A generation with
+    /// *no* surviving evaluation is unrecoverable and reported as
+    /// [`SearchError::GenerationLost`].
+    pub fn step(
+        &mut self,
+        wl: &Workload,
+        pw: &PredictionWorkload,
+        sup: &SupervisorConfig,
+    ) -> Result<(), SearchError> {
+        let sets: Vec<TemplateSet> = self.population.iter().map(|c| decode(c)).collect();
+        let report = evaluate_generation(self.generation as u64, &sets, wl, pw, sup);
+        self.health.absorb(&report.health);
+        self.evaluations += sets.len();
+
+        // Quarantined individuals carry +inf error: never the best,
+        // ranked last for elitism, excluded from the scaling bounds.
+        let errors: Vec<f64> = report
+            .outcomes
             .iter()
-            .map(|s| s.mean_abs_error_min())
+            .map(|o| match o {
+                EvalOutcome::Ok(stats) => stats.mean_abs_error_min(),
+                EvalOutcome::Quarantined(_) => f64::INFINITY,
+            })
             .collect();
-        evaluations += sets.len();
+        if errors.iter().all(|e| !e.is_finite()) {
+            return Err(SearchError::GenerationLost {
+                generation: self.generation,
+            });
+        }
 
         // Track the all-time best.
-        for (c, &e) in population.iter().zip(&errors) {
-            if best.as_ref().is_none_or(|(be, _)| e < *be) {
-                best = Some((e, c.clone()));
+        for (c, &e) in self.population.iter().zip(&errors) {
+            if e.is_finite() && self.best.as_ref().is_none_or(|(be, _)| e < *be) {
+                self.best = Some((e, c.clone()));
             }
         }
-        error_history.push(best.as_ref().expect("non-empty population").0);
+        self.error_history
+            .push(self.best.as_ref().expect("some evaluation survived").0);
 
-        // Fitness scaling (paper formula).
-        let e_min = errors.iter().cloned().fold(f64::INFINITY, f64::min);
-        let e_max = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let f_max = 4.0 * cfg.f_min;
+        // Fitness scaling (paper formula) over the surviving errors.
+        let finite = errors.iter().cloned().filter(|e| e.is_finite());
+        let e_min = finite.clone().fold(f64::INFINITY, f64::min);
+        let e_max = finite.fold(f64::NEG_INFINITY, f64::max);
+        let f_max = 4.0 * self.cfg.f_min;
         let fitness: Vec<f64> = errors
             .iter()
             .map(|&e| {
-                if (e_max - e_min).abs() < 1e-12 {
-                    cfg.f_min
+                if !e.is_finite() || (e_max - e_min).abs() < 1e-12 {
+                    self.cfg.f_min
                 } else {
-                    cfg.f_min + (e_max - e) / (e_max - e_min) * (f_max - cfg.f_min)
+                    self.cfg.f_min + (e_max - e) / (e_max - e_min) * (f_max - self.cfg.f_min)
                 }
             })
             .collect();
 
         // Elites: the best `elitism` individuals of this generation.
-        let mut ranked: Vec<usize> = (0..population.len()).collect();
-        ranked.sort_by(|&a, &b| errors[a].partial_cmp(&errors[b]).expect("finite"));
+        let mut ranked: Vec<usize> = (0..self.population.len()).collect();
+        ranked.sort_by(|&a, &b| errors[a].partial_cmp(&errors[b]).expect("no NaN errors"));
         let elites: Vec<Chromosome> = ranked
             .iter()
-            .take(cfg.elitism.min(population.len()))
-            .map(|&i| population[i].clone())
+            .take(self.cfg.elitism.min(self.population.len()))
+            .map(|&i| self.population[i].clone())
             .collect();
 
         // Offspring by roulette selection + crossover + mutation.
-        let mut next: Vec<Chromosome> = Vec::with_capacity(cfg.population);
-        while next.len() + elites.len() < cfg.population {
-            let p1 = &population[roulette(&fitness, &mut rng)];
-            let p2 = &population[roulette(&fitness, &mut rng)];
-            let (mut c1, mut c2) = crossover(p1, p2, &mut rng);
-            mutate(&mut c1, cfg.mutation_rate, &mut rng);
-            mutate(&mut c2, cfg.mutation_rate, &mut rng);
+        let mut next: Vec<Chromosome> = Vec::with_capacity(self.cfg.population);
+        while next.len() + elites.len() < self.cfg.population {
+            let p1 = &self.population[roulette(&fitness, &mut self.rng)];
+            let p2 = &self.population[roulette(&fitness, &mut self.rng)];
+            let (mut c1, mut c2) = crossover(p1, p2, &mut self.rng);
+            mutate(&mut c1, self.cfg.mutation_rate, &mut self.rng);
+            mutate(&mut c2, self.cfg.mutation_rate, &mut self.rng);
             next.push(c1);
-            if next.len() + elites.len() < cfg.population {
+            if next.len() + elites.len() < self.cfg.population {
                 next.push(c2);
             }
         }
         next.extend(elites);
-        population = next;
+        self.population = next;
+        self.generation += 1;
+        Ok(())
     }
 
-    let (best_error_min, best_bits) = best.expect("at least one generation ran");
-    GaResult {
-        best: decode(&best_bits),
-        best_error_min,
-        error_history,
-        evaluations,
+    /// Snapshot the complete state at the current generation boundary.
+    ///
+    /// # Panics
+    /// Panics before the first [`GaRunner::step`] (there is no best
+    /// individual to record yet).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let (best_error, best) = self
+            .best
+            .clone()
+            .expect("checkpoint requires at least one completed generation");
+        Checkpoint {
+            config: ConfigFingerprint::of(&self.cfg),
+            generation: self.generation,
+            evaluations: self.evaluations,
+            rng_state: self.rng.state(),
+            best_error,
+            best,
+            error_history: self.error_history.clone(),
+            health: self.health,
+            population: self.population.clone(),
+        }
     }
+
+    /// Finish: decode the best individual into the result.
+    ///
+    /// # Panics
+    /// Panics before the first [`GaRunner::step`].
+    pub fn into_result(self) -> SupervisedResult {
+        let (best_error_min, best_bits) = self.best.expect("at least one generation ran");
+        SupervisedResult {
+            result: GaResult {
+                best: decode(&best_bits),
+                best_error_min,
+                error_history: self.error_history,
+                evaluations: self.evaluations,
+            },
+            health: self.health,
+            resumed_from: self.resumed_from,
+        }
+    }
+}
+
+/// Drive `runner` to `cfg.generations`, checkpointing per `policy`.
+fn drive(
+    mut runner: GaRunner,
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    sup: &SupervisorConfig,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<SupervisedResult, SearchError> {
+    let total = runner.cfg.generations;
+    while runner.generation() < total {
+        runner.step(wl, pw, sup)?;
+        if let Some(p) = policy {
+            let every = p.every.max(1);
+            let gen = runner.generation();
+            if gen.is_multiple_of(every) || gen == total {
+                runner.checkpoint().save_atomic(&p.file())?;
+            }
+        }
+    }
+    Ok(runner.into_result())
+}
+
+/// Run the genetic search for a good template set over `pw`.
+///
+/// This is the plain entry point: supervised evaluation with default
+/// retry policy and no fault injection or checkpointing. See
+/// [`search_supervised`] for the full supervision surface.
+pub fn search(wl: &Workload, pw: &PredictionWorkload, cfg: &GaConfig) -> GaResult {
+    let sup = SupervisorConfig {
+        threads: cfg.threads,
+        ..SupervisorConfig::default()
+    };
+    search_supervised(wl, pw, cfg, &sup, None)
+        .expect("search without faults or checkpoints cannot fail")
+        .result
+}
+
+/// Run the genetic search under full supervision: panic-isolated,
+/// retrying fitness evaluation (`sup`), optional fault injection
+/// (`sup.faults`), and optional periodic checkpointing (`policy`).
+pub fn search_supervised(
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    cfg: &GaConfig,
+    sup: &SupervisorConfig,
+    policy: Option<&CheckpointPolicy>,
+) -> Result<SupervisedResult, SearchError> {
+    drive(GaRunner::new(cfg), wl, pw, sup, policy)
+}
+
+/// Resume a killed search from `policy`'s checkpoint and run it to
+/// completion. The combined interrupted-plus-resumed run produces a
+/// best template set and fitness trace *byte*-identical to an
+/// uninterrupted [`search_supervised`] with the same configuration.
+pub fn resume_supervised(
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    cfg: &GaConfig,
+    sup: &SupervisorConfig,
+    policy: &CheckpointPolicy,
+) -> Result<SupervisedResult, SearchError> {
+    let ckpt = Checkpoint::load(&policy.file())?;
+    let runner = GaRunner::from_checkpoint(cfg, ckpt)?;
+    drive(runner, wl, pw, sup, Some(policy))
 }
 
 /// A random chromosome of 1–4 templates with characteristic bits set
@@ -264,7 +561,7 @@ pub fn seeded_population(seeds: &[TemplateSet], size: usize, rng_seed: u64) -> V
 mod tests {
     use super::*;
     use crate::workloads::Target;
-    use qpredict_sim::Algorithm;
+    use qpredict_sim::{Algorithm, FaultPlan};
     use qpredict_workload::synthetic::toy;
 
     #[test]
@@ -350,5 +647,97 @@ mod tests {
         let pop = seeded_population(std::slice::from_ref(&seed_set), 8, 1);
         assert_eq!(pop.len(), 8);
         assert_eq!(decode(&pop[0]), seed_set);
+    }
+
+    #[test]
+    fn runner_steps_match_search() {
+        let wl = toy(150, 32, 14);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig::quick(11);
+        let sup = SupervisorConfig {
+            threads: cfg.threads,
+            ..SupervisorConfig::default()
+        };
+        let mut runner = GaRunner::new(&cfg);
+        while !runner.is_done() {
+            runner.step(&wl, &pw, &sup).expect("clean run");
+        }
+        let stepped = runner.into_result();
+        let direct = search(&wl, &pw, &cfg);
+        assert_eq!(stepped.result.best, direct.best);
+        assert_eq!(stepped.result.error_history, direct.error_history);
+        assert_eq!(stepped.health.failures(), 0);
+        assert!(stepped.resumed_from.is_none());
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_runner_state() {
+        let wl = toy(120, 32, 15);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig::quick(23);
+        let sup = SupervisorConfig {
+            threads: 1,
+            ..SupervisorConfig::default()
+        };
+        let mut a = GaRunner::new(&cfg);
+        a.step(&wl, &pw, &sup).unwrap();
+        a.step(&wl, &pw, &sup).unwrap();
+        let ckpt = a.checkpoint();
+        let decoded = Checkpoint::decode(&ckpt.encode()).expect("codec identity");
+        let mut b = GaRunner::from_checkpoint(&cfg, decoded).expect("fingerprint matches");
+        assert_eq!(b.health().resumes, 1);
+        while !a.is_done() {
+            a.step(&wl, &pw, &sup).unwrap();
+        }
+        while !b.is_done() {
+            b.step(&wl, &pw, &sup).unwrap();
+        }
+        let ra = a.into_result();
+        let rb = b.into_result();
+        assert_eq!(ra.result.best, rb.result.best);
+        assert_eq!(ra.result.error_history, rb.result.error_history);
+        assert_eq!(ra.result.evaluations, rb.result.evaluations);
+    }
+
+    #[test]
+    fn mismatched_config_refuses_resume() {
+        let wl = toy(100, 32, 16);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig::quick(31);
+        let sup = SupervisorConfig::default();
+        let mut runner = GaRunner::new(&cfg);
+        runner.step(&wl, &pw, &sup).unwrap();
+        let ckpt = runner.checkpoint();
+        let other = GaConfig {
+            seed: cfg.seed + 1,
+            ..cfg
+        };
+        let err = GaRunner::from_checkpoint(&other, ckpt).unwrap_err();
+        assert!(
+            matches!(err, CheckpointError::ConfigMismatch { field: "seed", .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn all_quarantined_generation_is_reported() {
+        let wl = toy(100, 32, 17);
+        let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Fcfs), 4);
+        let cfg = GaConfig::quick(37);
+        let sup = SupervisorConfig {
+            threads: 2,
+            max_retries: 0,
+            faults: Some(FaultPlan {
+                eval_error_prob: 1.0,
+                ..FaultPlan::new(1)
+            }),
+            ..SupervisorConfig::default()
+        };
+        let err = search_supervised(&wl, &pw, &cfg, &sup, None).unwrap_err();
+        assert!(
+            matches!(err, SearchError::GenerationLost { generation: 0 }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("generation 0 lost"));
     }
 }

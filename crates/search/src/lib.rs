@@ -22,16 +22,27 @@
 //!   variable-length template/bit crossover, mutation at 0.01 per bit,
 //!   two-individual elitism);
 //! * [`greedy`] — the greedy search baseline the paper's earlier work
-//!   compared against (used here for the ablation bench).
+//!   compared against (used here for the ablation bench);
+//! * [`supervisor`] — panic-isolated, budgeted, retrying fitness
+//!   evaluation with per-cause failure accounting ([`SearchHealth`]);
+//! * [`checkpoint`] — the versioned, checksummed on-disk snapshot format
+//!   that makes a killed search resumable bit-identically.
 
+pub mod checkpoint;
 pub mod encoding;
 pub mod fitness;
 pub mod ga;
 pub mod greedy;
+pub mod supervisor;
 pub mod workloads;
 
+pub use checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint};
 pub use encoding::{decode, encode, Chromosome, BITS_PER_TEMPLATE};
-pub use fitness::{evaluate, evaluate_many};
-pub use ga::{search, GaConfig, GaResult};
+pub use fitness::{evaluate, evaluate_guarded, evaluate_many};
+pub use ga::{
+    resume_supervised, search, search_supervised, CheckpointPolicy, GaConfig, GaResult, GaRunner,
+    SearchError, SupervisedResult,
+};
 pub use greedy::{greedy_search, GreedyConfig};
+pub use supervisor::{EvalOutcome, FailureCause, InjectedPanic, SearchHealth, SupervisorConfig};
 pub use workloads::{PredEvent, PredictionWorkload, Target};

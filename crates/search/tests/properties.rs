@@ -75,6 +75,122 @@ fn decode_is_total_and_stable() {
     }
 }
 
+mod checkpoint_codec {
+    use qpredict_search::checkpoint::{Checkpoint, CheckpointError, ConfigFingerprint};
+    use qpredict_search::{GaConfig, SearchHealth};
+
+    use super::*;
+
+    /// An arbitrary semantically-valid checkpoint: population and
+    /// history sizes consistent with the fingerprint, chromosomes a
+    /// multiple of the template width, arbitrary float bit patterns
+    /// (including negatives and subnormals — the codec is bitwise).
+    fn random_checkpoint(rng: &mut Rng64) -> Checkpoint {
+        let population = 4 + rng.gen_index(12);
+        let generation = 1 + rng.gen_index(20);
+        let chromo = |rng: &mut Rng64| -> Vec<bool> {
+            let k = 1 + rng.gen_index(10);
+            (0..k * BITS_PER_TEMPLATE)
+                .map(|_| rng.gen_bool(0.5))
+                .collect()
+        };
+        let cfg = GaConfig {
+            population,
+            mutation_rate: rng.gen_f64() * 0.1,
+            f_min: 0.5 + rng.gen_f64(),
+            seed: rng.next_u64(),
+            seeds: if rng.gen_bool(0.5) {
+                vec![random_set(rng)]
+            } else {
+                Vec::new()
+            },
+            ..GaConfig::default()
+        };
+        Checkpoint {
+            config: ConfigFingerprint::of(&cfg),
+            generation,
+            evaluations: generation * population,
+            rng_state: [rng.next_u64(), rng.next_u64(), rng.next_u64(), 1],
+            best_error: f64::from_bits(rng.next_u64()).abs().min(1e300) + 0.1,
+            best: chromo(rng),
+            error_history: (0..generation).map(|_| rng.gen_f64() * 500.0).collect(),
+            health: SearchHealth {
+                attempts: rng.next_u64() % 10_000,
+                retries: rng.next_u64() % 100,
+                panics: rng.next_u64() % 100,
+                budget_exhausted: rng.next_u64() % 100,
+                eval_errors: rng.next_u64() % 100,
+                quarantined: rng.next_u64() % 100,
+                injected_faults: rng.next_u64() % 300,
+                resumes: rng.next_u64() % 10,
+            },
+            population: (0..population).map(|_| chromo(rng)).collect(),
+        }
+    }
+
+    /// decode ∘ encode is the identity on every valid checkpoint.
+    #[test]
+    fn encode_decode_roundtrip() {
+        for seed in 0u64..128 {
+            let mut rng = Rng64::seed_from_u64(0xC0DE + seed);
+            let ckpt = random_checkpoint(&mut rng);
+            let text = ckpt.encode();
+            let back = Checkpoint::decode(&text).unwrap_or_else(|e| {
+                panic!("seed {seed}: valid checkpoint rejected: {e}");
+            });
+            assert_eq!(ckpt, back, "seed {seed}");
+            assert_eq!(text, back.encode(), "seed {seed}: encode not stable");
+        }
+    }
+
+    /// Every truncation that loses data is rejected with a typed error
+    /// — never a panic, never an `Ok`. (Cutting only the trailing
+    /// newline loses nothing — body and checksum are intact — so that
+    /// single cut is excluded.)
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut rng = Rng64::seed_from_u64(0x7200);
+        let text = random_checkpoint(&mut rng).encode();
+        // Exhaustive on char boundaries (the text is ASCII).
+        for cut in 0..text.len() - 1 {
+            let err = Checkpoint::decode(&text[..cut]).expect_err("truncation must be rejected");
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::BadMagic { .. }
+                        | CheckpointError::ChecksumMismatch { .. }
+                        | CheckpointError::Malformed { .. }
+                ),
+                "cut at {cut}: unexpected error class: {err}"
+            );
+        }
+    }
+
+    /// Seeded random bit flips anywhere in the file are caught, almost
+    /// always by the checksum (a flip inside the checksum line itself
+    /// surfaces as a malformed or mismatching checksum instead).
+    #[test]
+    fn random_bit_flips_never_pass_undetected() {
+        for seed in 0u64..256 {
+            let mut rng = Rng64::seed_from_u64(0xF11B + seed);
+            let text = random_checkpoint(&mut rng).encode();
+            let mut bytes = text.clone().into_bytes();
+            let pos = rng.gen_index(bytes.len());
+            let bit = 1u8 << rng.gen_index(7); // stay ASCII
+            bytes[pos] ^= bit;
+            let mutated = String::from_utf8(bytes).expect("still ASCII");
+            if mutated == text {
+                continue; // the flip was a no-op (cannot happen with XOR, but be safe)
+            }
+            let result = Checkpoint::decode(&mutated);
+            assert!(
+                result.is_err(),
+                "seed {seed}: flip at byte {pos} (bit {bit:#04x}) went undetected"
+            );
+        }
+    }
+}
+
 mod search_behaviour {
     use qpredict_search::{evaluate, PredictionWorkload, Target};
     use qpredict_sim::Algorithm;

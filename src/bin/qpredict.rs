@@ -6,6 +6,9 @@
 //! qpredict simulate <trace.swf|site> [--nodes N] [--alg A] [--predictor P]
 //! qpredict waitpred <trace.swf|site> [--nodes N] [--alg A] [--predictor P]
 //! qpredict gantt    <trace.swf|site> [--nodes N] [--alg A] [--out FILE]
+//! qpredict search   <trace.swf|site> [--generations N] [--population N]
+//!                   [--checkpoint-dir DIR] [--resume] [--max-retries N]
+//!                   [--eval-budget N] [--fault-eval P]
 //! ```
 //!
 //! Common flags: `--ingest lenient|strict` controls SWF parsing
@@ -13,13 +16,24 @@
 //! `--fault-pred-noise P` drive the deterministic fault-injection
 //! harness during `simulate`.
 //!
+//! `search` runs the supervised GA template search: `--checkpoint-dir`
+//! snapshots every generation so a killed run can continue with
+//! `--resume` (bit-identical to an uninterrupted run), `--max-retries` /
+//! `--eval-budget` tune the evaluation supervisor, and `--fault-eval`
+//! injects evaluator chaos (panics/hangs/errors) at the given rate,
+//! seeded by `--fault-seed`.
+//!
 //! Sites are generated synthetically (full Table 1 size unless `--jobs`);
 //! `.swf` paths are parsed as Standard Workload Format traces.
 
 use std::process::exit;
 
-use qpredict::core::{run_scheduling_with, run_wait_prediction, PredictorKind};
+use qpredict::core::{
+    run_scheduling_with, run_template_search, run_wait_prediction, PredictorKind,
+    TemplateSearchSpec,
+};
 use qpredict::prelude::*;
+use qpredict::search::{CheckpointPolicy, GaConfig, InjectedPanic, SearchError, SupervisorConfig};
 use qpredict::sim::{timeline_of, ActualEstimator, FaultPlan};
 use qpredict::workload::{analysis, swf, synthetic, IngestPolicy};
 
@@ -33,14 +47,24 @@ struct Opts {
     ingest: IngestPolicy,
     fault_seed: Option<u64>,
     fault_pred_noise: Option<f64>,
+    fault_eval: Option<f64>,
+    generations: Option<usize>,
+    population: Option<usize>,
+    seed: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
+    max_retries: Option<u32>,
+    eval_budget: Option<u64>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: qpredict <generate|analyze|simulate|waitpred|gantt> <trace.swf|site> \
+        "usage: qpredict <generate|analyze|simulate|waitpred|gantt|search> <trace.swf|site> \
          [--nodes N] [--jobs N] [--alg fcfs|lwf|backfill|easy] \
          [--predictor actual|maxrt|smith|gibbons|downey-avg|downey-med|fallback] \
-         [--ingest strict|lenient] [--fault-seed N] [--fault-pred-noise P] [--out FILE]"
+         [--ingest strict|lenient] [--fault-seed N] [--fault-pred-noise P] [--out FILE] \
+         [--generations N] [--population N] [--seed N] [--checkpoint-dir DIR] [--resume] \
+         [--max-retries N] [--eval-budget N] [--fault-eval P]"
     );
     exit(2)
 }
@@ -80,6 +104,14 @@ fn parse_opts() -> Opts {
         ingest: IngestPolicy::Strict,
         fault_seed: None,
         fault_pred_noise: None,
+        fault_eval: None,
+        generations: None,
+        population: None,
+        seed: None,
+        checkpoint_dir: None,
+        resume: false,
+        max_retries: None,
+        eval_budget: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -123,6 +155,37 @@ fn parse_opts() -> Opts {
                     ));
                 }
                 o.fault_pred_noise = Some(p);
+            }
+            "--fault-eval" => {
+                let p: f64 = parse_value(&mut it, "--fault-eval", "a probability in [0, 1]");
+                if !(0.0..=1.0).contains(&p) {
+                    flag_error(format!(
+                        "invalid value \"{p}\" for --fault-eval (expected a probability in [0, 1])"
+                    ));
+                }
+                o.fault_eval = Some(p);
+            }
+            "--generations" => {
+                o.generations = Some(parse_value(&mut it, "--generations", "a generation count"))
+            }
+            "--population" => {
+                let n: usize = parse_value(&mut it, "--population", "a population size (>= 4)");
+                if n < 4 {
+                    flag_error(format!(
+                        "invalid value \"{n}\" for --population (the GA needs at least 4 \
+                         individuals for parents and elites)"
+                    ));
+                }
+                o.population = Some(n);
+            }
+            "--seed" => o.seed = Some(parse_value(&mut it, "--seed", "an integer seed")),
+            "--checkpoint-dir" => o.checkpoint_dir = Some(flag_value(&mut it, "--checkpoint-dir")),
+            "--resume" => o.resume = true,
+            "--max-retries" => {
+                o.max_retries = Some(parse_value(&mut it, "--max-retries", "a retry count"))
+            }
+            "--eval-budget" => {
+                o.eval_budget = Some(parse_value(&mut it, "--eval-budget", "a step count"))
             }
             "--out" => o.out = Some(flag_value(&mut it, "--out")),
             "--help" | "-h" => usage(),
@@ -325,6 +388,89 @@ fn main() {
                     );
                 }
                 None => emit_stdout(&csv),
+            }
+        }
+        "search" => {
+            if opts.resume && opts.checkpoint_dir.is_none() {
+                flag_error(
+                    "--resume requires --checkpoint-dir (there is no checkpoint to resume from)"
+                        .to_string(),
+                );
+            }
+            let wl = load(source, &opts);
+            let mut ga = GaConfig::default();
+            if let Some(g) = opts.generations {
+                ga.generations = g;
+            }
+            if let Some(p) = opts.population {
+                ga.population = p;
+            }
+            if let Some(s) = opts.seed {
+                ga.seed = s;
+            }
+            let faults = opts
+                .fault_eval
+                .map(|p| FaultPlan::eval_chaos(opts.fault_seed.unwrap_or(0), p));
+            if faults.is_some() {
+                // Injected panics are supervised and expected; keep the
+                // default hook's backtraces for *real* panics only.
+                let default_hook = std::panic::take_hook();
+                std::panic::set_hook(Box::new(move |info| {
+                    if !info.payload().is::<InjectedPanic>() {
+                        default_hook(info);
+                    }
+                }));
+            }
+            let spec = TemplateSearchSpec {
+                algorithm: opts.alg,
+                depth: 4,
+                supervisor: SupervisorConfig {
+                    threads: ga.threads,
+                    max_retries: opts.max_retries.unwrap_or(3),
+                    eval_budget: opts.eval_budget,
+                    faults,
+                    ..SupervisorConfig::default()
+                },
+                ga,
+                checkpoint: opts
+                    .checkpoint_dir
+                    .as_ref()
+                    .map(CheckpointPolicy::every_generation),
+                resume: opts.resume,
+            };
+            let out = run_template_search(&wl, &spec).unwrap_or_else(|e| match e {
+                SearchError::Checkpoint(_) => flag_error(format!("cannot resume search: {e}")),
+                SearchError::GenerationLost { .. } => {
+                    eprintln!("qpredict: {e}");
+                    exit(1)
+                }
+            });
+            println!(
+                "template search on {} under {} ({} generations x {} individuals):",
+                out.workload,
+                out.algorithm.name(),
+                spec.ga.generations,
+                spec.ga.population
+            );
+            println!("  best MAE     {:.2} min", out.best_error_min);
+            if let (Some(first), Some(last)) = (out.error_history.first(), out.error_history.last())
+            {
+                println!("  convergence  {first:.2} -> {last:.2} min");
+            }
+            println!("  evaluations  {}", out.evaluations);
+            println!("  best set     {}", out.best);
+            for (i, line) in out.health.summary().lines().enumerate() {
+                if i == 0 {
+                    println!("  health       {line}");
+                } else {
+                    println!("               {line}");
+                }
+            }
+            if let Some(g) = out.resumed_from {
+                println!("  resumed from generation {g}");
+            }
+            if let Some(p) = &spec.checkpoint {
+                println!("  checkpoint   {}", p.file().display());
             }
         }
         _ => usage(),

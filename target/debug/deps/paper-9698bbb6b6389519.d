@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper-9698bbb6b6389519.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/debug/deps/libpaper-9698bbb6b6389519.rmeta: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper-e60b8f36539f5f7e.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/debug/deps/paper-e60b8f36539f5f7e: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

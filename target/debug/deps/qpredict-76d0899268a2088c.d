@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict-76d0899268a2088c.d: src/bin/qpredict.rs
+
+/root/repo/target/debug/deps/libqpredict-76d0899268a2088c.rmeta: src/bin/qpredict.rs
+
+src/bin/qpredict.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict-d067d5146be951c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict-d067d5146be951c7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qpredict_bench-057a34fab77b3235.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqpredict_bench-057a34fab77b3235.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

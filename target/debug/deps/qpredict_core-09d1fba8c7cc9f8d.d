@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/qpredict_core-09d1fba8c7cc9f8d.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/debug/deps/qpredict_core-09d1fba8c7cc9f8d.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
-/root/repo/target/debug/deps/libqpredict_core-09d1fba8c7cc9f8d.rlib: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/debug/deps/libqpredict_core-09d1fba8c7cc9f8d.rlib: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
-/root/repo/target/debug/deps/libqpredict_core-09d1fba8c7cc9f8d.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/debug/deps/libqpredict_core-09d1fba8c7cc9f8d.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adapter.rs:
@@ -14,4 +14,5 @@ crates/core/src/scheduling.rs:
 crates/core/src/searched.rs:
 crates/core/src/statewait.rs:
 crates/core/src/tables.rs:
+crates/core/src/template_search.rs:
 crates/core/src/waittime.rs:

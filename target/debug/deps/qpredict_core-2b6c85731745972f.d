@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/qpredict_core-2b6c85731745972f.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs Cargo.toml
+/root/repo/target/debug/deps/qpredict_core-2b6c85731745972f.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs Cargo.toml
 
-/root/repo/target/debug/deps/libqpredict_core-2b6c85731745972f.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs Cargo.toml
+/root/repo/target/debug/deps/libqpredict_core-2b6c85731745972f.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/adapter.rs:
@@ -12,6 +12,7 @@ crates/core/src/scheduling.rs:
 crates/core/src/searched.rs:
 crates/core/src/statewait.rs:
 crates/core/src/tables.rs:
+crates/core/src/template_search.rs:
 crates/core/src/waittime.rs:
 Cargo.toml:
 

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qpredict_core-54924d4abe2a7e07.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
+
+/root/repo/target/debug/deps/libqpredict_core-54924d4abe2a7e07.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adapter.rs:
+crates/core/src/forecast.rs:
+crates/core/src/grid.rs:
+crates/core/src/kind.rs:
+crates/core/src/paper.rs:
+crates/core/src/scheduling.rs:
+crates/core/src/searched.rs:
+crates/core/src/statewait.rs:
+crates/core/src/tables.rs:
+crates/core/src/template_search.rs:
+crates/core/src/waittime.rs:

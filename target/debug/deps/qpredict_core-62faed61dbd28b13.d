@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/qpredict_core-62faed61dbd28b13.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/debug/deps/qpredict_core-62faed61dbd28b13.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
-/root/repo/target/debug/deps/qpredict_core-62faed61dbd28b13: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/debug/deps/qpredict_core-62faed61dbd28b13: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adapter.rs:
@@ -12,4 +12,5 @@ crates/core/src/scheduling.rs:
 crates/core/src/searched.rs:
 crates/core/src/statewait.rs:
 crates/core/src/tables.rs:
+crates/core/src/template_search.rs:
 crates/core/src/waittime.rs:

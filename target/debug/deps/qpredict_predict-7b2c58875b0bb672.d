@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qpredict_predict-7b2c58875b0bb672.d: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+/root/repo/target/debug/deps/libqpredict_predict-7b2c58875b0bb672.rmeta: crates/predict/src/lib.rs crates/predict/src/baseline.rs crates/predict/src/category.rs crates/predict/src/downey.rs crates/predict/src/error.rs crates/predict/src/estimators.rs crates/predict/src/fallback.rs crates/predict/src/gibbons.rs crates/predict/src/smith.rs crates/predict/src/template.rs
+
+crates/predict/src/lib.rs:
+crates/predict/src/baseline.rs:
+crates/predict/src/category.rs:
+crates/predict/src/downey.rs:
+crates/predict/src/error.rs:
+crates/predict/src/estimators.rs:
+crates/predict/src/fallback.rs:
+crates/predict/src/gibbons.rs:
+crates/predict/src/smith.rs:
+crates/predict/src/template.rs:

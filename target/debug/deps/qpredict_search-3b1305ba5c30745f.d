@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/qpredict_search-3b1305ba5c30745f.d: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/debug/deps/qpredict_search-3b1305ba5c30745f.d: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
-/root/repo/target/debug/deps/qpredict_search-3b1305ba5c30745f: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/debug/deps/qpredict_search-3b1305ba5c30745f: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
 crates/search/src/lib.rs:
+crates/search/src/checkpoint.rs:
 crates/search/src/encoding.rs:
 crates/search/src/fitness.rs:
 crates/search/src/ga.rs:
 crates/search/src/greedy.rs:
+crates/search/src/supervisor.rs:
 crates/search/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qpredict_search-76dc0a5a0da31742.d: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
+
+/root/repo/target/debug/deps/libqpredict_search-76dc0a5a0da31742.rmeta: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
+
+crates/search/src/lib.rs:
+crates/search/src/checkpoint.rs:
+crates/search/src/encoding.rs:
+crates/search/src/fitness.rs:
+crates/search/src/ga.rs:
+crates/search/src/greedy.rs:
+crates/search/src/supervisor.rs:
+crates/search/src/workloads.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/qpredict_search-bcafd086b9ef689a.d: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/debug/deps/qpredict_search-bcafd086b9ef689a.d: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
-/root/repo/target/debug/deps/libqpredict_search-bcafd086b9ef689a.rlib: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/debug/deps/libqpredict_search-bcafd086b9ef689a.rlib: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
-/root/repo/target/debug/deps/libqpredict_search-bcafd086b9ef689a.rmeta: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/debug/deps/libqpredict_search-bcafd086b9ef689a.rmeta: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
 crates/search/src/lib.rs:
+crates/search/src/checkpoint.rs:
 crates/search/src/encoding.rs:
 crates/search/src/fitness.rs:
 crates/search/src/ga.rs:
 crates/search/src/greedy.rs:
+crates/search/src/supervisor.rs:
 crates/search/src/workloads.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/qpredict_search-f789072a143803ae.d: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs Cargo.toml
+/root/repo/target/debug/deps/qpredict_search-f789072a143803ae.d: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs Cargo.toml
 
-/root/repo/target/debug/deps/libqpredict_search-f789072a143803ae.rmeta: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs Cargo.toml
+/root/repo/target/debug/deps/libqpredict_search-f789072a143803ae.rmeta: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs Cargo.toml
 
 crates/search/src/lib.rs:
+crates/search/src/checkpoint.rs:
 crates/search/src/encoding.rs:
 crates/search/src/fitness.rs:
 crates/search/src/ga.rs:
 crates/search/src/greedy.rs:
+crates/search/src/supervisor.rs:
 crates/search/src/workloads.rs:
 Cargo.toml:
 

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qpredict_sim-7fe91fd9ddc46d37.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs
+
+/root/repo/target/debug/deps/libqpredict_sim-7fe91fd9ddc46d37.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/estimators.rs crates/sim/src/fault.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/scheduler.rs crates/sim/src/tests_support.rs crates/sim/src/timeline.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/estimators.rs:
+crates/sim/src/fault.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/scheduler.rs:
+crates/sim/src/tests_support.rs:
+crates/sim/src/timeline.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qpredict_workload-dbd844b94dd640de.d: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/compress.rs crates/workload/src/job.rs crates/workload/src/rng.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/symbols.rs crates/workload/src/synthetic/mod.rs crates/workload/src/synthetic/dist.rs crates/workload/src/synthetic/model.rs crates/workload/src/synthetic/sites.rs crates/workload/src/time.rs crates/workload/src/workload.rs
+
+/root/repo/target/debug/deps/libqpredict_workload-dbd844b94dd640de.rmeta: crates/workload/src/lib.rs crates/workload/src/analysis.rs crates/workload/src/compress.rs crates/workload/src/job.rs crates/workload/src/rng.rs crates/workload/src/stats.rs crates/workload/src/swf.rs crates/workload/src/symbols.rs crates/workload/src/synthetic/mod.rs crates/workload/src/synthetic/dist.rs crates/workload/src/synthetic/model.rs crates/workload/src/synthetic/sites.rs crates/workload/src/time.rs crates/workload/src/workload.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/analysis.rs:
+crates/workload/src/compress.rs:
+crates/workload/src/job.rs:
+crates/workload/src/rng.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/swf.rs:
+crates/workload/src/symbols.rs:
+crates/workload/src/synthetic/mod.rs:
+crates/workload/src/synthetic/dist.rs:
+crates/workload/src/synthetic/model.rs:
+crates/workload/src/synthetic/sites.rs:
+crates/workload/src/time.rs:
+crates/workload/src/workload.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_resilience-2dc758d041ac3a38.d: tests/search_resilience.rs
+
+/root/repo/target/debug/deps/search_resilience-2dc758d041ac3a38: tests/search_resilience.rs
+
+tests/search_resilience.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_resilience-b4d5219d1b6458c2.d: tests/search_resilience.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_resilience-b4d5219d1b6458c2.rmeta: tests/search_resilience.rs Cargo.toml
+
+tests/search_resilience.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qpredict_search",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/convert/trait.From.html\" title=\"trait core::convert::From\">From</a>&lt;<a class=\"enum\" href=\"qpredict_search/checkpoint/enum.CheckpointError.html\" title=\"enum qpredict_search::checkpoint::CheckpointError\">CheckpointError</a>&gt; for <a class=\"enum\" href=\"qpredict_search/ga/enum.SearchError.html\" title=\"enum qpredict_search::ga::SearchError\">SearchError</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[470]}

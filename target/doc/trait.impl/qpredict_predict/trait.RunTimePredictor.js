@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qpredict",[]],["qpredict_core",[["impl RunTimePredictor for <a class=\"struct\" href=\"qpredict_core/kind/struct.BoxedPredictor.html\" title=\"struct qpredict_core::kind::BoxedPredictor\">BoxedPredictor</a>",0]]],["qpredict_predict",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[15,199,24]}

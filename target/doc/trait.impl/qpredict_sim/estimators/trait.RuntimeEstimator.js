@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["qpredict",[]],["qpredict_core",[["impl&lt;P: RunTimePredictor&gt; RuntimeEstimator for <a class=\"struct\" href=\"qpredict_core/adapter/struct.PredictorEstimator.html\" title=\"struct qpredict_core::adapter::PredictorEstimator\">PredictorEstimator</a>&lt;P&gt;",0]]],["qpredict_sim",[]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[15,253,20]}

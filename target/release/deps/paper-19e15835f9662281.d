@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper-19e15835f9662281.d: crates/bench/src/bin/paper.rs
+
+/root/repo/target/release/deps/paper-19e15835f9662281: crates/bench/src/bin/paper.rs
+
+crates/bench/src/bin/paper.rs:

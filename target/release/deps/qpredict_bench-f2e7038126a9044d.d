@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qpredict_bench-f2e7038126a9044d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqpredict_bench-f2e7038126a9044d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqpredict_bench-f2e7038126a9044d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/qpredict_core-b06e71146a565064.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/release/deps/qpredict_core-b06e71146a565064.d: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
-/root/repo/target/release/deps/libqpredict_core-b06e71146a565064.rlib: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/release/deps/libqpredict_core-b06e71146a565064.rlib: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
-/root/repo/target/release/deps/libqpredict_core-b06e71146a565064.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/waittime.rs
+/root/repo/target/release/deps/libqpredict_core-b06e71146a565064.rmeta: crates/core/src/lib.rs crates/core/src/adapter.rs crates/core/src/forecast.rs crates/core/src/grid.rs crates/core/src/kind.rs crates/core/src/paper.rs crates/core/src/scheduling.rs crates/core/src/searched.rs crates/core/src/statewait.rs crates/core/src/tables.rs crates/core/src/template_search.rs crates/core/src/waittime.rs
 
 crates/core/src/lib.rs:
 crates/core/src/adapter.rs:
@@ -14,4 +14,5 @@ crates/core/src/scheduling.rs:
 crates/core/src/searched.rs:
 crates/core/src/statewait.rs:
 crates/core/src/tables.rs:
+crates/core/src/template_search.rs:
 crates/core/src/waittime.rs:

@@ -1,12 +1,14 @@
-/root/repo/target/release/deps/qpredict_search-0f146d152e2e7bf3.d: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/release/deps/qpredict_search-0f146d152e2e7bf3.d: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
-/root/repo/target/release/deps/libqpredict_search-0f146d152e2e7bf3.rlib: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/release/deps/libqpredict_search-0f146d152e2e7bf3.rlib: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
-/root/repo/target/release/deps/libqpredict_search-0f146d152e2e7bf3.rmeta: crates/search/src/lib.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/workloads.rs
+/root/repo/target/release/deps/libqpredict_search-0f146d152e2e7bf3.rmeta: crates/search/src/lib.rs crates/search/src/checkpoint.rs crates/search/src/encoding.rs crates/search/src/fitness.rs crates/search/src/ga.rs crates/search/src/greedy.rs crates/search/src/supervisor.rs crates/search/src/workloads.rs
 
 crates/search/src/lib.rs:
+crates/search/src/checkpoint.rs:
 crates/search/src/encoding.rs:
 crates/search/src/fitness.rs:
 crates/search/src/ga.rs:
 crates/search/src/greedy.rs:
+crates/search/src/supervisor.rs:
 crates/search/src/workloads.rs:

@@ -93,6 +93,153 @@ fn gantt_emits_csv() {
 }
 
 #[test]
+fn search_runs_and_reports_health() {
+    let out = bin()
+        .args([
+            "search",
+            "toy",
+            "--jobs",
+            "100",
+            "--nodes",
+            "32",
+            "--generations",
+            "2",
+            "--population",
+            "8",
+            "--seed",
+            "5",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("best MAE"), "{text}");
+    assert!(text.contains("health"), "{text}");
+    assert!(text.contains("attempts"), "{text}");
+}
+
+#[test]
+fn search_checkpoint_then_resume_round_trip() {
+    let dir = std::env::temp_dir().join("qpredict_cli_resume");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt_dir = dir.to_str().unwrap();
+    let base = [
+        "search",
+        "toy",
+        "--jobs",
+        "100",
+        "--nodes",
+        "32",
+        "--population",
+        "8",
+        "--seed",
+        "7",
+        "--checkpoint-dir",
+        ckpt_dir,
+    ];
+
+    let out = bin()
+        .args(base)
+        .args(["--generations", "2"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(dir.join("ga.ckpt").exists(), "checkpoint written");
+
+    let out = bin()
+        .args(base)
+        .args(["--generations", "4", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("resumed from generation 2"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn search_resume_without_checkpoint_dir_exits_2() {
+    let out = bin()
+        .args(["search", "toy", "--jobs", "50", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--resume requires --checkpoint-dir"), "{err}");
+}
+
+#[test]
+fn search_resume_with_missing_checkpoint_exits_2() {
+    let dir = std::env::temp_dir().join("qpredict_cli_no_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = bin()
+        .args([
+            "search",
+            "toy",
+            "--jobs",
+            "50",
+            "--resume",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot resume search"), "{err}");
+    assert!(err.contains("ga.ckpt"), "{err}");
+}
+
+#[test]
+fn search_resume_with_corrupt_checkpoint_exits_2() {
+    let dir = std::env::temp_dir().join("qpredict_cli_corrupt_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("ga.ckpt"), "qpredict-ga-checkpoint v1\ngarbage\n").unwrap();
+    let out = bin()
+        .args([
+            "search",
+            "toy",
+            "--jobs",
+            "50",
+            "--resume",
+            "--checkpoint-dir",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot resume search"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn search_rejects_bad_fault_eval_rate() {
+    let out = bin()
+        .args(["search", "toy", "--jobs", "50", "--fault-eval", "1.5"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--fault-eval"),
+        "stderr names the bad flag"
+    );
+}
+
+#[test]
 fn bad_arguments_fail_cleanly() {
     let out = bin().args(["simulate"]).output().expect("binary runs");
     assert!(!out.status.success());
