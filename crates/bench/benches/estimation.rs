@@ -1,0 +1,155 @@
+//! Headline numbers for the unified estimation layer, written both to
+//! stdout and to `BENCH_estimation.json` at the workspace root so the
+//! perf trajectory can be tracked across PRs.
+//!
+//! Three measurements:
+//!
+//! * raw estimate throughput over a frozen queue — the LWF/backfill
+//!   re-estimation pattern — with and without the generation-keyed
+//!   [`CachingPredictor`];
+//! * one end-to-end wait-time experiment cell (nested forecasts), whose
+//!   `Metrics` now carry the cache hit/miss counters;
+//! * the scan-vs-moments accounting of [`SmithPredictor`] over a
+//!   realistic prediction stream: how many history points a naive
+//!   scan-everything implementation would have traversed versus how many
+//!   the incremental-moment fast paths actually scanned.
+
+use qpredict_bench::{bench, smoke_mode};
+use qpredict_core::{run_wait_prediction, searched, PredictorKind};
+use qpredict_predict::{CachingPredictor, RunTimePredictor, SmithPredictor};
+use qpredict_search::{PredEvent, PredictionWorkload, Target};
+use qpredict_sim::Algorithm;
+use qpredict_workload::synthetic::toy;
+use qpredict_workload::Dur;
+
+/// A Smith predictor warmed on the first half of `wl`, as a scheduler
+/// mid-trace would hold it.
+fn warmed(wl: &qpredict_workload::Workload) -> SmithPredictor {
+    let mut p = SmithPredictor::new(searched::set_for(wl));
+    for j in wl.jobs.iter().take(wl.len() / 2) {
+        p.on_complete(j);
+    }
+    p
+}
+
+/// Estimate throughput over an unchanged 64-job queue (the pattern every
+/// scheduling attempt produces). Returns (uncached, cached) estimates
+/// per second.
+fn bench_queue_reestimation() -> (f64, f64) {
+    let wl = toy(4_000, 64, 310);
+    let probe: Vec<_> = wl.jobs.iter().skip(wl.len() / 2).take(64).collect();
+    let mut plain = warmed(&wl);
+    let s_plain = bench("estimation", "queue-x64/uncached", || {
+        let mut acc = 0i64;
+        for j in &probe {
+            acc += plain.predict(j, Dur::ZERO).estimate.seconds();
+        }
+        acc
+    });
+    let mut cached = CachingPredictor::new(warmed(&wl));
+    let s_cached = bench("estimation", "queue-x64/cached", || {
+        let mut acc = 0i64;
+        for j in &probe {
+            acc += cached.predict(j, Dur::ZERO).estimate.seconds();
+        }
+        acc
+    });
+    (probe.len() as f64 / s_plain, probe.len() as f64 / s_cached)
+}
+
+/// One wait-time experiment cell end-to-end. Returns (seconds, cache hit
+/// rate) — the hit rate comes from the counters the refactor put on
+/// `Metrics`.
+fn bench_waittime_cell() -> (f64, f64) {
+    let wl = toy(400, 32, 311);
+    let secs = bench("estimation", "waittime/backfill-smith", || {
+        run_wait_prediction(&wl, Algorithm::Backfill, PredictorKind::Smith)
+    });
+    let out = run_wait_prediction(&wl, Algorithm::Backfill, PredictorKind::Smith);
+    let cache = out.metrics.estimate_cache.expect("wait study runs cached");
+    (secs, cache.hit_rate())
+}
+
+/// Replay a recorded wait-prediction stream through a bare Smith
+/// predictor and read its scan accounting: `scanned` is what the
+/// predictor actually traversed, `naive` is what a scan-per-estimate
+/// implementation would have.
+fn scan_reduction() -> (u64, u64) {
+    let wl = toy(1_000, 64, 312);
+    let pw = PredictionWorkload::build(&wl, Target::WaitPrediction(Algorithm::Backfill), 2);
+    let mut p = SmithPredictor::new(searched::set_for(&wl));
+    for ev in &pw.events {
+        match *ev {
+            PredEvent::Predict { job, elapsed } => {
+                p.predict(wl.job(job), elapsed);
+            }
+            PredEvent::Insert { job } => p.on_complete(wl.job(job)),
+        }
+    }
+    let ops = p.estimate_ops();
+    let naive = ops.scanned_points + ops.moment_points;
+    (ops.scanned_points, naive)
+}
+
+fn write_json(path: &std::path::Path, fields: &[(&str, String)]) {
+    let mut s = String::from("{\n");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        let comma = if i + 1 < fields.len() { "," } else { "" };
+        s.push_str(&format!("  \"{k}\": {v}{comma}\n"));
+    }
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write BENCH_estimation.json");
+}
+
+/// JSON number: finite, or null.
+fn num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn main() {
+    let (uncached_eps, cached_eps) = bench_queue_reestimation();
+    let (waittime_secs, hit_rate) = bench_waittime_cell();
+    let (scanned, naive) = scan_reduction();
+    let reduction = naive as f64 / (scanned.max(1)) as f64;
+
+    // Smoke runs still exercise the emission path, but into a scratch
+    // location so they never clobber the committed trajectory artifact.
+    let root = if smoke_mode() {
+        std::env::temp_dir()
+    } else {
+        std::env::var("CARGO_MANIFEST_DIR")
+            .map(|d| {
+                std::path::Path::new(&d)
+                    .join("../..")
+                    .canonicalize()
+                    .unwrap_or_else(|_| std::path::PathBuf::from(d))
+            })
+            .unwrap_or_else(|_| std::path::PathBuf::from("."))
+    };
+    let path = root.join("BENCH_estimation.json");
+    write_json(
+        &path,
+        &[
+            ("bench", "\"estimation\"".to_string()),
+            ("smoke", smoke_mode().to_string()),
+            ("uncached_estimates_per_sec", num(uncached_eps)),
+            ("cached_estimates_per_sec", num(cached_eps)),
+            ("cache_speedup", num(cached_eps / uncached_eps)),
+            ("waittime_end_to_end_sec", num(waittime_secs)),
+            ("waittime_cache_hit_rate", num(hit_rate)),
+            ("history_points_scanned", scanned.to_string()),
+            ("history_points_naive_scan", naive.to_string()),
+            ("scan_reduction_factor", num(reduction)),
+        ],
+    );
+    println!("estimation/scan-reduction          {reduction:.1}x fewer points scanned");
+    println!("wrote {}", path.display());
+    assert!(
+        reduction >= 2.0,
+        "moment fast paths must eliminate >=2x of naive history scanning, got {reduction:.2}x"
+    );
+}

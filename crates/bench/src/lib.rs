@@ -12,11 +12,27 @@ use std::time::Instant;
 
 use qpredict_core::paper::Scale;
 
+/// One-iteration smoke mode, for CI: `QPREDICT_BENCH_SMOKE=1` makes
+/// every [`bench()`] call run its closure exactly once and report that
+/// single timing. The numbers are meaningless as benchmarks; the point
+/// is that every bench *executes* (panics, assertion failures, and JSON
+/// emission bugs surface) in seconds instead of minutes.
+pub fn smoke_mode() -> bool {
+    std::env::var_os("QPREDICT_BENCH_SMOKE").is_some_and(|v| v != "0")
+}
+
 /// Time `f` and print its median per-iteration cost as
 /// `<group>/<label>  <time>`. Runs a few warm-up iterations, then enough
 /// timed batches to damp scheduler noise. Returns the median seconds per
 /// iteration so callers can post-process if they wish.
 pub fn bench<T>(group: &str, label: &str, mut f: impl FnMut() -> T) -> f64 {
+    if smoke_mode() {
+        let t = Instant::now();
+        black_box(f());
+        let s = t.elapsed().as_secs_f64().max(1e-9);
+        println!("{group}/{label:<28} {} (smoke)", human_iter_time(s));
+        return s;
+    }
     // Warm up and estimate a batch size targeting ~50 ms per batch.
     let warm = Instant::now();
     black_box(f());

@@ -2,8 +2,17 @@
 //! [`qpredict_sim::RuntimeEstimator`] so any predictor can drive the
 //! scheduling algorithms, while recording the run-time prediction errors
 //! the paper reports alongside each experiment.
+//!
+//! Since the estimation layer was unified, any predictor already *is* a
+//! `RuntimeEstimator` (blanket impl in `qpredict-sim`); this adapter is
+//! the thin remaining shim that scores every estimate into an
+//! [`ErrorStats`] and memoizes predictions through a
+//! [`CachingPredictor`]. Errors are recorded per *call* — cache hit or
+//! miss — so the recorded stream is identical to an uncached run.
 
-use qpredict_predict::{DegradationCounts, ErrorStats, RunTimePredictor};
+use qpredict_predict::{
+    CacheStats, CachingPredictor, DegradationCounts, ErrorStats, RunTimePredictor,
+};
 use qpredict_sim::RuntimeEstimator;
 use qpredict_workload::{Dur, Job, Time};
 
@@ -13,9 +22,10 @@ use qpredict_workload::{Dur, Job, Time};
 /// [`ErrorStats`] (the simulator only asks for estimates at the instants
 /// the paper defines, so the accumulated stream matches the paper's
 /// run-time prediction workloads). Completions feed the predictor's
-/// history.
+/// history and — via the generation counter — invalidate the estimate
+/// cache.
 pub struct PredictorEstimator<P> {
-    predictor: P,
+    predictor: CachingPredictor<P>,
     errors: ErrorStats,
     /// Count of estimates served from the predictor's fallback path.
     fallbacks: u64,
@@ -25,7 +35,7 @@ impl<P: RunTimePredictor> PredictorEstimator<P> {
     /// Wrap a predictor.
     pub fn new(predictor: P) -> PredictorEstimator<P> {
         PredictorEstimator {
-            predictor,
+            predictor: CachingPredictor::new(predictor),
             errors: ErrorStats::new(),
             fallbacks: 0,
         }
@@ -42,9 +52,14 @@ impl<P: RunTimePredictor> PredictorEstimator<P> {
         self.fallbacks
     }
 
+    /// Estimate-cache hit/miss/invalidation counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.predictor.stats()
+    }
+
     /// Access the wrapped predictor.
     pub fn predictor(&self) -> &P {
-        &self.predictor
+        self.predictor.inner()
     }
 
     /// Degradation accounting from the wrapped predictor, when it chains
@@ -55,7 +70,7 @@ impl<P: RunTimePredictor> PredictorEstimator<P> {
 
     /// Consume the adapter, returning the predictor and the error stats.
     pub fn into_parts(self) -> (P, ErrorStats) {
-        (self.predictor, self.errors)
+        (self.predictor.into_inner(), self.errors)
     }
 }
 
@@ -70,7 +85,7 @@ impl<P: RunTimePredictor> RuntimeEstimator for PredictorEstimator<P> {
     }
 
     fn on_complete(&mut self, job: &Job, _now: Time) {
-        self.predictor.on_complete(job);
+        RunTimePredictor::on_complete(&mut self.predictor, job);
     }
 }
 
@@ -98,6 +113,11 @@ mod tests {
             a.estimate(&j, Time(0), Dur::ZERO);
         }
         assert_eq!(a.errors().count(), 5);
+        // The cache absorbed the repeats, but the error stream still
+        // counted every call — the bit-identity contract of the adapter.
+        let c = a.cache_stats();
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hits, 4);
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! push existing reservations) and a large one for LWF (smaller-work
 //! arrivals jump the queue). No future arrivals are modeled: they are
 //! unknown at prediction time.
+//!
+//! The experiment drivers pass `predict` closures that route through a
+//! generation-keyed [`qpredict_predict::CachingPredictor`]: no
+//! completion occurs *inside* a forecast, so the predictor is frozen at
+//! one generation for its duration, and across forecasts repeated
+//! `(job, elapsed)` queries are served from the cache until a completion
+//! bumps the generation. [`forecast_start_interval`] additionally pins
+//! its three passes to one set of memoized predictions, below.
 
 use qpredict_sim::{schedule_pass, Algorithm, QueueEntry, RunningView, Snapshot};
 use qpredict_workload::{Dur, Job, JobId, Time, Workload};

@@ -131,7 +131,7 @@ impl RunTimePredictor for BoxedPredictor {
     }
 
     fn on_complete(&mut self, job: &Job) {
-        self.inner.on_complete(job)
+        RunTimePredictor::on_complete(self.inner.as_mut(), job)
     }
 
     fn reset(&mut self) {
@@ -140,6 +140,10 @@ impl RunTimePredictor for BoxedPredictor {
 
     fn degradations(&self) -> Option<DegradationCounts> {
         self.inner.degradations()
+    }
+
+    fn generation(&self) -> Option<u64> {
+        self.inner.generation()
     }
 }
 

@@ -73,11 +73,13 @@ pub fn run_scheduling_with(
     let mut est = FaultyEstimator::new(inner, faults.cloned().unwrap_or_else(|| FaultPlan::new(0)));
     let result = Simulation::run(wl_run, alg, &mut est);
     let (inner, est_counts) = est.into_parts();
+    let mut metrics = result.metrics;
+    metrics.estimate_cache = Some(inner.cache_stats());
     SchedulingOutcome {
         workload: wl.name.clone(),
         algorithm: alg,
         predictor: predictor_name,
-        metrics: result.metrics,
+        metrics,
         runtime_errors: *inner.errors(),
         fallback_estimates: inner.fallback_count(),
         degradations: inner.degradations(),
@@ -205,6 +207,22 @@ mod tests {
         let clean = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
         assert!(clean.faults.is_none());
         assert_ne!(clean.metrics.mean_wait, a.metrics.mean_wait);
+    }
+
+    #[test]
+    fn estimate_cache_counters_are_reported() {
+        let wl = toy(200, 16, 38);
+        let out = run_scheduling(&wl, Algorithm::Lwf, PredictorKind::Smith);
+        let c = out.metrics.estimate_cache.expect("caching layer engaged");
+        assert!(c.hits > 0, "LWF re-estimates queued jobs every pass");
+        assert!(c.misses > 0);
+        assert!(c.invalidations > 0, "completions must flush the cache");
+        // The fallback chain is deliberately uncacheable (side-effecting
+        // predict): every call reaches the chain, counted as misses.
+        let fb = run_scheduling(&wl, Algorithm::Lwf, PredictorKind::Fallback);
+        let cf = fb.metrics.estimate_cache.expect("stats still reported");
+        assert_eq!(cf.hits, 0, "uncacheable predictors must pass through");
+        assert_eq!(cf.misses, fb.runtime_errors.count());
     }
 
     #[test]

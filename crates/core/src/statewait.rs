@@ -21,7 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use qpredict_predict::{ErrorStats, RunTimePredictor};
+use qpredict_predict::{CachingPredictor, ErrorStats, RunTimePredictor};
 use qpredict_sim::{Algorithm, MaxRuntimeEstimator, SimHooks, Simulation, Snapshot};
 use qpredict_workload::{Dur, Job, JobId, Time, Workload};
 
@@ -163,7 +163,9 @@ impl StateWaitPredictor {
 
 struct StateStudy<'w, P> {
     wl: &'w Workload,
-    runtime_predictor: P,
+    /// Cached: the backlog feature re-predicts every queued job at each
+    /// submission, and between completions those estimates are frozen.
+    runtime_predictor: CachingPredictor<P>,
     state: StateWaitPredictor,
     /// Per job: the state key captured at submission and the predicted
     /// wait shown then.
@@ -203,7 +205,7 @@ impl<P: RunTimePredictor> SimHooks for StateStudy<'_, P> {
     }
 
     fn on_job_complete(&mut self, job: &Job, _now: Time) {
-        self.runtime_predictor.on_complete(job);
+        RunTimePredictor::on_complete(&mut self.runtime_predictor, job);
     }
 }
 
@@ -220,7 +222,7 @@ pub fn run_state_wait_prediction(
     let predictor_name = runtime_predictor.name();
     let mut study = StateStudy {
         wl,
-        runtime_predictor,
+        runtime_predictor: CachingPredictor::new(runtime_predictor),
         state: StateWaitPredictor::default(),
         captured: vec![None; wl.len()],
         pending: HashMap::new(),
@@ -235,13 +237,15 @@ pub fn run_state_wait_prediction(
         let (_, predicted) = study.captured[o.id.index()].expect("every submission captured");
         wait_errors.record(predicted, o.wait());
     }
+    let mut metrics = result.metrics;
+    metrics.estimate_cache = Some(study.runtime_predictor.stats());
     WaitPredictionOutcome {
         workload: wl.name.clone(),
         algorithm: alg,
         predictor: predictor_name,
         wait_errors,
         runtime_errors: study.runtime_errors,
-        metrics: result.metrics,
+        metrics,
     }
 }
 
@@ -322,6 +326,17 @@ mod tests {
             out.wait_errors.pct_of_mean_actual() < 300.0,
             "state predictor unusable: {:.0}%",
             out.wait_errors.pct_of_mean_actual()
+        );
+    }
+
+    #[test]
+    fn backlog_features_hit_the_estimate_cache() {
+        let wl = toy(300, 16, 403);
+        let out = run_state_wait_prediction(&wl, Algorithm::Lwf, PredictorKind::Smith);
+        let c = out.metrics.estimate_cache.expect("study runs cached");
+        assert!(
+            c.hits > 0,
+            "queued jobs re-predicted across submissions must hit"
         );
     }
 

@@ -11,8 +11,16 @@
 //! The predictor learns online: completions enter its history as they
 //! happen, so early arrivals are predicted with little history (the
 //! paper's "initial ramp-up").
+//!
+//! The predictor under study is wrapped in a [`CachingPredictor`]: a
+//! nested forecast re-requests the same `(job, elapsed)` estimates that
+//! earlier forecasts already computed, and between two completions the
+//! predictor's generation — and therefore every estimate — is frozen, so
+//! the repeats are served from the cache. Error stats are still recorded
+//! per call, keeping the measured error stream bit-identical to an
+//! uncached run.
 
-use qpredict_predict::{ErrorStats, RunTimePredictor};
+use qpredict_predict::{CachingPredictor, ErrorStats, RunTimePredictor};
 use qpredict_sim::{
     Algorithm, MaxRuntimeEstimator, Metrics, RuntimeEstimator, SimHooks, Simulation, Snapshot,
 };
@@ -44,7 +52,7 @@ pub struct WaitPredictionOutcome {
 struct WaitStudy<'w, P> {
     wl: &'w Workload,
     alg: Algorithm,
-    predictor: P,
+    predictor: CachingPredictor<P>,
     /// The outer scheduler's own estimator (maximum run times); the
     /// forecast mirrors its decisions with these beliefs.
     belief: MaxRuntimeEstimator,
@@ -75,7 +83,7 @@ impl<P: RunTimePredictor> SimHooks for WaitStudy<'_, P> {
     }
 
     fn on_job_complete(&mut self, job: &Job, _now: Time) {
-        self.predictor.on_complete(job);
+        RunTimePredictor::on_complete(&mut self.predictor, job);
     }
 }
 
@@ -104,7 +112,7 @@ pub fn run_wait_prediction_warm(
     let train_jobs = train_jobs.min(wl.len().saturating_sub(1));
     let mut predictor = kind.build(wl);
     for j in wl.jobs.iter().take(train_jobs) {
-        predictor.on_complete(j);
+        RunTimePredictor::on_complete(&mut predictor, j);
     }
     let eval = wl.suffix(train_jobs);
     run_wait_prediction_with(&eval, alg, predictor)
@@ -119,7 +127,7 @@ fn run_wait_prediction_with(
     let mut study = WaitStudy {
         wl,
         alg,
-        predictor,
+        predictor: CachingPredictor::new(predictor),
         belief: MaxRuntimeEstimator::from_workload(wl),
         runtime_errors: ErrorStats::new(),
         predicted_wait: vec![None; wl.len()],
@@ -136,13 +144,15 @@ fn run_wait_prediction_with(
             study.predicted_wait[outcome.id.index()].expect("every submission was forecast");
         wait_errors.record(predicted, outcome.wait());
     }
+    let mut metrics = result.metrics;
+    metrics.estimate_cache = Some(study.predictor.stats());
     WaitPredictionOutcome {
         workload: wl.name.clone(),
         algorithm: alg,
         predictor: predictor_name,
         wait_errors,
         runtime_errors: study.runtime_errors,
-        metrics: result.metrics,
+        metrics,
     }
 }
 
@@ -223,6 +233,21 @@ mod tests {
             warm.runtime_errors.mean_abs_error_min(),
             cold.runtime_errors.mean_abs_error_min()
         );
+    }
+
+    #[test]
+    fn nested_forecasts_reuse_cached_estimates() {
+        let wl = toy(300, 32, 26);
+        let out = run_wait_prediction(&wl, Algorithm::Backfill, PredictorKind::Smith);
+        let c = out.metrics.estimate_cache.expect("study runs cached");
+        assert!(
+            c.hits > 0,
+            "queued jobs are re-forecast between completions: must hit"
+        );
+        assert!(c.invalidations > 0, "completions must flush the cache");
+        // Every prediction the forecasts requested was scored, hit or
+        // miss — the cache is invisible to the error stream.
+        assert_eq!(c.total(), out.runtime_errors.count());
     }
 
     #[test]

@@ -55,6 +55,10 @@ impl RunTimePredictor for MaxRuntimePredictor {
     fn on_complete(&mut self, _job: &Job) {}
 
     fn reset(&mut self) {}
+
+    fn generation(&self) -> Option<u64> {
+        Some(0) // limits are fixed at construction: stateless
+    }
 }
 
 /// Predicts every job at its actual run time: the perfect-information
@@ -79,6 +83,10 @@ impl RunTimePredictor for OraclePredictor {
     fn on_complete(&mut self, _job: &Job) {}
 
     fn reset(&mut self) {}
+
+    fn generation(&self) -> Option<u64> {
+        Some(0) // pure function of the job: stateless
+    }
 }
 
 #[cfg(test)]

@@ -9,6 +9,7 @@ use std::collections::{HashMap, VecDeque};
 
 use qpredict_workload::Job;
 
+use crate::estimators::RegressionKind;
 use crate::template::{Template, TemplateSet};
 
 /// One completed job's contribution to a category.
@@ -99,25 +100,65 @@ impl Moments {
     }
 }
 
+/// Running sums for a least-squares regression of `y` on `g(x)`:
+/// `(n, Σg, Σy, Σg², Σgy, Σy²)` — everything
+/// [`crate::estimators::regression_from_moments`] needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RegMoments {
+    /// Number of samples.
+    pub n: usize,
+    /// Sum of transformed abscissas `g(x)`.
+    pub sg: f64,
+    /// Sum of ordinates.
+    pub sy: f64,
+    /// Sum of squared transformed abscissas.
+    pub sgg: f64,
+    /// Sum of cross products.
+    pub sgy: f64,
+    /// Sum of squared ordinates.
+    pub syy: f64,
+}
+
+impl RegMoments {
+    fn add(&mut self, g: f64, y: f64) {
+        self.n += 1;
+        self.sg += g;
+        self.sy += y;
+        self.sgg += g * g;
+        self.sgy += g * y;
+        self.syy += y * y;
+    }
+}
+
 /// Bounded history of one category, with running aggregates for the hot
-/// mean-estimator path.
+/// mean- and regression-estimator paths.
+///
+/// Each history belongs to exactly one category, whose key includes the
+/// template index — so it only ever serves one `(estimator, relative)`
+/// configuration, and one set of regression sums per history suffices.
 #[derive(Debug, Clone, Default)]
 pub struct History {
     points: VecDeque<Point>,
     abs: Moments,
     ratio: Moments,
+    /// Regression configuration and running sums, populated on first
+    /// push for regression templates (`None` for mean templates).
+    reg: Option<(RegressionKind, bool, RegMoments)>,
 }
 
 impl History {
-    /// Append a point, evicting the oldest when `cap` is reached.
-    pub fn push(&mut self, p: Point, cap: Option<u32>) {
-        if let Some(cap) = cap {
+    /// Append a point, evicting the oldest when the template's history
+    /// cap is reached, and maintain every running aggregate.
+    pub fn push(&mut self, p: Point, t: &Template) {
+        let mut evicted = false;
+        if let Some(cap) = t.max_history {
             while self.points.len() >= cap.max(1) as usize {
                 let old = self.points.pop_front().expect("len checked");
                 self.abs.remove(old.runtime);
                 if old.ratio.is_finite() {
                     self.ratio.remove(old.ratio);
                 }
+                evicted = true;
             }
         }
         self.abs.add(p.runtime);
@@ -125,6 +166,40 @@ impl History {
             self.ratio.add(p.ratio);
         }
         self.points.push_back(p);
+        if let Some(kind) = t.estimator.regression() {
+            self.update_reg(kind, t.relative, p, evicted);
+        }
+    }
+
+    /// Keep the regression sums in step with the deque. Appends add one
+    /// term in insertion order — the same order a fresh scan visits — so
+    /// the sums stay bit-identical to scanning. Evictions recompute from
+    /// the remaining deque rather than subtracting: subtraction changes
+    /// the f64 addition order and would drift from the scan result.
+    fn update_reg(&mut self, kind: RegressionKind, relative: bool, p: Point, evicted: bool) {
+        let y_of = |q: &Point| if relative { q.ratio } else { q.runtime };
+        match self.reg.as_mut() {
+            Some((k, rel, m)) if !evicted => {
+                debug_assert!(*k == kind && *rel == relative);
+                m.add(kind.g(p.nodes), y_of(&p));
+            }
+            _ => {
+                let mut m = RegMoments::default();
+                for q in &self.points {
+                    m.add(kind.g(q.nodes), y_of(q));
+                }
+                self.reg = Some((kind, relative, m));
+            }
+        }
+    }
+
+    /// The running regression sums, when this history is maintained for
+    /// exactly the requested `(kind, relative)` configuration.
+    pub fn reg_moments(&self, kind: RegressionKind, relative: bool) -> Option<RegMoments> {
+        match self.reg {
+            Some((k, rel, m)) if k == kind && rel == relative => Some(m),
+            _ => None,
+        }
     }
 
     /// Number of stored points.
@@ -171,7 +246,7 @@ impl CategoryStore {
         let p = Point::from_job(job);
         for (ti, t) in set.templates().iter().enumerate() {
             if let Some(key) = CategoryKey::for_job(ti, t, job) {
-                self.map.entry(key).or_default().push(p, t.max_history);
+                self.map.entry(key).or_default().push(p, t);
             }
         }
     }
@@ -277,6 +352,7 @@ mod tests {
 
     #[test]
     fn history_cap_evicts_oldest() {
+        let t = Template::mean_over(&[]).with_max_history(3);
         let mut h = History::default();
         for i in 0..5 {
             h.push(
@@ -285,12 +361,58 @@ mod tests {
                     ratio: f64::NAN,
                     nodes: 1.0,
                 },
-                Some(3),
+                &t,
             );
         }
         assert_eq!(h.len(), 3);
         let runtimes: Vec<f64> = h.iter().map(|p| p.runtime).collect();
         assert_eq!(runtimes, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn reg_moments_match_scan_after_eviction() {
+        use crate::estimators::{regression, regression_from_moments, RegressionKind};
+        use crate::template::EstimatorKind;
+        let t = Template::mean_over(&[])
+            .with_estimator(EstimatorKind::LinearRegression)
+            .with_max_history(4);
+        let mut h = History::default();
+        for i in 0..9 {
+            h.push(
+                Point {
+                    runtime: (i * i) as f64 + 0.25,
+                    ratio: f64::NAN,
+                    nodes: (1 + i % 5) as f64,
+                },
+                &t,
+            );
+        }
+        assert_eq!(h.len(), 4);
+        let m = h
+            .reg_moments(RegressionKind::Linear, false)
+            .expect("regression template maintains sums");
+        let fast = regression_from_moments(
+            RegressionKind::Linear,
+            m.n,
+            m.sg,
+            m.sy,
+            m.sgg,
+            m.sgy,
+            m.syy,
+            7.0,
+        );
+        let scan = regression(
+            RegressionKind::Linear,
+            h.iter().map(|p| (p.nodes, p.runtime)),
+            7.0,
+        );
+        assert_eq!(
+            fast, scan,
+            "incremental sums must match a fresh scan exactly"
+        );
+        // Asking for a different configuration yields nothing.
+        assert!(h.reg_moments(RegressionKind::Inverse, false).is_none());
+        assert!(h.reg_moments(RegressionKind::Linear, true).is_none());
     }
 
     #[test]

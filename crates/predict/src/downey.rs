@@ -117,6 +117,9 @@ pub struct DowneyPredictor {
     global: Category,
     total_sum: f64,
     total_n: u64,
+    /// Bumps on every state mutation; see
+    /// [`RunTimePredictor::generation`].
+    generation: u64,
 }
 
 impl DowneyPredictor {
@@ -130,6 +133,7 @@ impl DowneyPredictor {
             global: Category::default(),
             total_sum: 0.0,
             total_n: 0,
+            generation: 0,
         }
     }
 
@@ -241,6 +245,7 @@ impl RunTimePredictor for DowneyPredictor {
         self.global.insert(rt);
         self.total_sum += rt;
         self.total_n += 1;
+        self.generation += 1;
     }
 
     fn reset(&mut self) {
@@ -248,6 +253,11 @@ impl RunTimePredictor for DowneyPredictor {
         self.global = Category::default();
         self.total_sum = 0.0;
         self.total_n = 0;
+        self.generation += 1;
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.generation)
     }
 }
 

@@ -79,7 +79,8 @@ pub enum RegressionKind {
 }
 
 impl RegressionKind {
-    fn g(self, x: f64) -> f64 {
+    /// The abscissa transform `g(x)` of this family.
+    pub fn g(self, x: f64) -> f64 {
         match self {
             RegressionKind::Linear => x,
             RegressionKind::Inverse => 1.0 / x.max(1e-12),
@@ -111,6 +112,25 @@ pub fn regression(
         sgy += g * y;
         syy += y * y;
     }
+    regression_from_moments(kind, n, sg, sy, sgg, sgy, syy, x0)
+}
+
+/// [`regression`] from precomputed running sums over the transformed
+/// samples `(g, y)` with `g = g(x)` — the O(1) fast path used when the
+/// sums are maintained incrementally. The post-sum arithmetic is shared
+/// with [`regression`], so for identical sums the results are
+/// bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn regression_from_moments(
+    kind: RegressionKind,
+    n: usize,
+    sg: f64,
+    sy: f64,
+    sgg: f64,
+    sgy: f64,
+    syy: f64,
+    x0: f64,
+) -> Option<Estimate> {
     if n < 3 {
         return None;
     }
@@ -124,7 +144,10 @@ pub fn regression(
     let a = (sy - b * sg) / nf;
     let g0 = kind.g(x0);
     let value = a + b * g0;
-    // Residual variance.
+    // Residual variance; clamped at zero — catastrophic cancellation in
+    // the sum-of-squares moments can drive it slightly negative for
+    // near-perfect fits, and a NaN interval would poison the smallest-CI
+    // selection.
     let sse = (syy - sy * sy / nf) - b * s_gy;
     let s_e2 = (sse / (nf - 2.0)).max(0.0);
     let mean_g = sg / nf;
@@ -219,6 +242,53 @@ mod tests {
         let e = mean([2.0, 4.0, 6.0].into_iter()).unwrap();
         assert!((e.value - 4.0).abs() < 1e-12);
         assert!((e.ci - 1.96 * 2.0 / 3f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn near_constant_history_never_yields_nan_interval() {
+        // Catastrophic cancellation: for huge near-identical values,
+        // `sum2 - sum²/n` computed in f64 can come out negative. The
+        // variance clamp must turn that into a zero interval, not NaN.
+        let vals = [1e8 + 0.1, 1e8 + 0.1, 1e8 + 0.1, 1e8 + 0.1];
+        let e = mean(vals.into_iter()).expect("non-empty");
+        assert!(e.ci.is_finite(), "ci {}", e.ci);
+        assert!(e.ci >= 0.0);
+        // The same sums via the moments path.
+        let (mut sum, mut sum2) = (0.0, 0.0);
+        for v in vals {
+            sum += v;
+            sum2 += v * v;
+        }
+        let m = mean_from_moments(vals.len(), sum, sum2).expect("non-empty");
+        assert_eq!(e.value.to_bits(), m.value.to_bits());
+        assert_eq!(e.ci.to_bits(), m.ci.to_bits());
+        // A directly negative variance (as subtract-on-evict residue can
+        // produce) clamps to a zero interval.
+        let neg = mean_from_moments(2, 2e8, (1e8f64).powi(2) * 2.0 - 1e3).expect("non-empty");
+        assert_eq!(neg.ci, 0.0, "negative variance must clamp, got {}", neg.ci);
+        assert!(neg.value.is_finite());
+    }
+
+    #[test]
+    fn near_constant_regression_never_yields_nan_interval() {
+        // A perfect fit on huge values: SSE cancels catastrophically.
+        let pts: Vec<(f64, f64)> = (1..=5).map(|i| (i as f64, 1e9 + i as f64)).collect();
+        let e = regression(RegressionKind::Linear, pts.iter().copied(), 3.0).expect("fits");
+        assert!(e.ci.is_finite() && e.ci >= 0.0, "ci {}", e.ci);
+        // Moments with a slightly negative implied SSE must clamp too.
+        let (mut n, mut sg, mut sy, mut sgg, mut sgy, mut syy) = (0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        for &(x, y) in &pts {
+            n += 1;
+            sg += x;
+            sy += y;
+            sgg += x * x;
+            sgy += x * y;
+            syy += y * y;
+        }
+        let m =
+            regression_from_moments(RegressionKind::Linear, n, sg, sy, sgg, sgy, syy - 1.0, 3.0)
+                .expect("fits");
+        assert!(m.ci.is_finite() && m.ci >= 0.0, "ci {}", m.ci);
     }
 
     #[test]

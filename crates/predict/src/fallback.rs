@@ -149,6 +149,13 @@ impl RunTimePredictor for FallbackPredictor {
         };
     }
 
+    fn generation(&self) -> Option<u64> {
+        // Deliberately uncacheable: every predict() mutates the
+        // degradation accounting, so serving a memoized prediction would
+        // silently drop observable side effects.
+        None
+    }
+
     fn degradations(&self) -> Option<DegradationCounts> {
         Some(self.counts.clone())
     }

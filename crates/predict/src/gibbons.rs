@@ -83,6 +83,9 @@ pub struct GibbonsPredictor {
     /// extrapolate wildly at unseen node counts, so predictions are
     /// clamped to twice this (floor: one hour).
     max_seen: f64,
+    /// Bumps on every state mutation; see
+    /// [`RunTimePredictor::generation`].
+    generation: u64,
 }
 
 /// Minimum points for a valid mean at levels 1/3/5.
@@ -218,10 +221,21 @@ impl RunTimePredictor for GibbonsPredictor {
         self.total_sum += rt;
         self.total_n += 1;
         self.max_seen = self.max_seen.max(rt);
+        self.generation += 1;
     }
 
     fn reset(&mut self) {
-        *self = GibbonsPredictor::default();
+        // Keep the generation monotone across the wipe so stale cached
+        // predictions can never alias a post-reset state.
+        let generation = self.generation + 1;
+        *self = GibbonsPredictor {
+            generation,
+            ..GibbonsPredictor::default()
+        };
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.generation)
     }
 }
 

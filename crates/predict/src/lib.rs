@@ -27,6 +27,7 @@ pub mod baseline;
 pub mod category;
 pub mod downey;
 pub mod error;
+pub mod estimate;
 pub mod estimators;
 pub mod fallback;
 pub mod gibbons;
@@ -36,9 +37,10 @@ pub mod template;
 pub use baseline::{MaxRuntimePredictor, OraclePredictor};
 pub use downey::{DowneyPredictor, DowneyVariant};
 pub use error::ErrorStats;
+pub use estimate::{CacheStats, CachingPredictor};
 pub use fallback::{DegradationCounts, FallbackPredictor};
 pub use gibbons::GibbonsPredictor;
-pub use smith::SmithPredictor;
+pub use smith::{EstimateOps, SmithPredictor};
 pub use template::{CharSet, EstimatorKind, Template, TemplateSet};
 
 use qpredict_workload::{Dur, Job};
@@ -136,6 +138,19 @@ pub trait RunTimePredictor {
     /// Degradation accounting, for predictors that chain multiple
     /// sources ([`FallbackPredictor`]). `None` for simple predictors.
     fn degradations(&self) -> Option<DegradationCounts> {
+        None
+    }
+
+    /// A monotone counter identifying the predictor's learned state:
+    /// implementations bump it on **every** state mutation
+    /// (`on_complete`, `reset`), so two `predict` calls for the same
+    /// `(job, elapsed)` at the same generation are guaranteed to return
+    /// the identical [`Prediction`]. Stateless predictors return a
+    /// constant. The default `None` declares the state unobservable (or
+    /// `predict` side-effecting, as in [`FallbackPredictor`]'s
+    /// degradation accounting), which disables
+    /// [`CachingPredictor`] memoization for this predictor.
+    fn generation(&self) -> Option<u64> {
         None
     }
 }

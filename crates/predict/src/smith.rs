@@ -21,9 +21,36 @@
 use qpredict_workload::{Dur, Job};
 
 use crate::category::{CategoryStore, History, Point};
-use crate::estimators::{mean, mean_from_moments, regression, Estimate};
+use crate::estimators::{mean, mean_from_moments, regression, regression_from_moments, Estimate};
 use crate::template::{Template, TemplateSet};
 use crate::{Prediction, RunTimePredictor};
+
+/// How a [`SmithPredictor`] produced its estimates: points actually
+/// traversed by scans versus points the running-moment fast paths did
+/// *not* traverse (what a naive scan-everything implementation would
+/// have read). The ratio is the layer's headline win.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EstimateOps {
+    /// History points traversed by scan-path estimates (only the
+    /// `use_rtime` elapsed-conditioned case scans).
+    pub scanned_points: u64,
+    /// History points covered by moment-based estimates without being
+    /// traversed.
+    pub moment_points: u64,
+    /// Estimates served from running moments.
+    pub moment_estimates: u64,
+    /// Estimates served by scanning history.
+    pub scan_estimates: u64,
+}
+
+impl EstimateOps {
+    fn merge(&mut self, other: EstimateOps) {
+        self.scanned_points += other.scanned_points;
+        self.moment_points += other.moment_points;
+        self.moment_estimates += other.moment_estimates;
+        self.scan_estimates += other.scan_estimates;
+    }
+}
 
 /// History-based predictor driven by a [`TemplateSet`].
 #[derive(Debug, Clone)]
@@ -38,6 +65,10 @@ pub struct SmithPredictor {
     /// extrapolate wildly at unseen node counts, so predictions are
     /// clamped to twice this (floor: one hour).
     max_seen: f64,
+    /// Bumps on every history mutation; see
+    /// [`RunTimePredictor::generation`].
+    generation: u64,
+    ops: EstimateOps,
 }
 
 impl SmithPredictor {
@@ -49,6 +80,8 @@ impl SmithPredictor {
             global_sum: 0.0,
             global_n: 0,
             max_seen: 0.0,
+            generation: 0,
+            ops: EstimateOps::default(),
         }
     }
 
@@ -62,6 +95,11 @@ impl SmithPredictor {
         self.store.category_count()
     }
 
+    /// Scan-vs-moments accounting over every estimate so far.
+    pub fn estimate_ops(&self) -> EstimateOps {
+        self.ops
+    }
+
     /// Estimate from one template's category for `job`, if valid.
     fn category_estimate(
         &self,
@@ -70,14 +108,21 @@ impl SmithPredictor {
         job: &Job,
         elapsed: Dur,
         history: &History,
+        ops: &mut EstimateOps,
     ) -> Option<Estimate> {
         let _ = ti;
         let elapsed_s = elapsed.as_secs_f64();
+        // Only elapsed-time conditioning needs a per-estimate scan; every
+        // other configuration reads running aggregates. (Relative
+        // histories never hold non-finite ratios — `applies_to` requires
+        // a limit at insertion — so the scan path's ratio filter is
+        // vacuous and the aggregates cover the same points.)
+        let scans = t.use_rtime && elapsed_s > 0.0;
         // Value extraction: absolute seconds, or ratio-to-limit scaled
         // back to seconds by this job's limit.
         let limit_s = job.max_runtime.map(|m| m.as_secs_f64().max(1.0));
         let filter = |p: &&Point| -> bool {
-            if t.use_rtime && elapsed_s > 0.0 && p.runtime <= elapsed_s {
+            if scans && p.runtime <= elapsed_s {
                 return false;
             }
             if t.relative && !p.ratio.is_finite() {
@@ -92,10 +137,15 @@ impl SmithPredictor {
                 p.runtime
             }
         };
+        if scans {
+            ops.scan_estimates += 1;
+            ops.scanned_points += history.len() as u64;
+        } else {
+            ops.moment_estimates += 1;
+            ops.moment_points += history.len() as u64;
+        }
         let est = match t.estimator.regression() {
-            // Fast path: a plain mean without elapsed-time filtering
-            // reads the running aggregates instead of scanning history.
-            None if !(t.use_rtime && elapsed_s > 0.0) => {
+            None if !scans => {
                 let m = if t.relative {
                     history.ratio_moments()
                 } else {
@@ -104,6 +154,21 @@ impl SmithPredictor {
                 mean_from_moments(m.n, m.sum, m.sum2)
             }
             None => mean(history.iter().filter(filter).map(&value_of)),
+            Some(kind) if !scans => {
+                let m = history
+                    .reg_moments(kind, t.relative)
+                    .expect("regression history maintains its sums");
+                regression_from_moments(
+                    kind,
+                    m.n,
+                    m.sg,
+                    m.sy,
+                    m.sgg,
+                    m.sgy,
+                    m.syy,
+                    job.nodes as f64,
+                )
+            }
             Some(kind) => regression(
                 kind,
                 history
@@ -153,11 +218,12 @@ impl RunTimePredictor for SmithPredictor {
         // specificity, then template order — all deterministic.
         let mut best: Option<(f64, usize, u32, usize, f64)> = None;
         // (ci, n, specificity, ti, value) — kept flat for cheap compares.
+        let mut ops = EstimateOps::default();
         for (ti, t) in self.set.templates().iter().enumerate() {
             let Some(history) = self.store.history(ti, t, job) else {
                 continue;
             };
-            let Some(est) = self.category_estimate(ti, t, job, elapsed, history) else {
+            let Some(est) = self.category_estimate(ti, t, job, elapsed, history, &mut ops) else {
                 continue;
             };
             let better = match best {
@@ -176,6 +242,7 @@ impl RunTimePredictor for SmithPredictor {
                 best = Some((est.ci, est.n, t.specificity(), ti, est.value));
             }
         }
+        self.ops.merge(ops);
         let cap = (self.max_seen * 2.0).max(3600.0);
         match best {
             Some((ci, _, _, _, value)) => Prediction {
@@ -193,6 +260,7 @@ impl RunTimePredictor for SmithPredictor {
         self.global_sum += job.runtime.as_secs_f64();
         self.global_n += 1;
         self.max_seen = self.max_seen.max(job.runtime.as_secs_f64());
+        self.generation += 1;
     }
 
     fn reset(&mut self) {
@@ -200,6 +268,12 @@ impl RunTimePredictor for SmithPredictor {
         self.global_sum = 0.0;
         self.global_n = 0;
         self.max_seen = 0.0;
+        self.generation += 1;
+        self.ops = EstimateOps::default();
+    }
+
+    fn generation(&self) -> Option<u64> {
+        Some(self.generation)
     }
 }
 

@@ -7,14 +7,14 @@
 //! text format:
 //!
 //! ```text
-//! qpredict-ga-checkpoint v1
+//! qpredict-ga-checkpoint v2
 //! config pop=<n> elitism=<n> mutation=<f64 bits hex> fmin=<f64 bits hex> seed=<hex> seeds=<hex>
 //! rng <s0> <s1> <s2> <s3>
 //! gen <n>
 //! evals <n>
 //! best <f64 bits hex> <chromosome as 0/1 string>
 //! hist <f64 bits hex> ...
-//! health attempts=<n> retries=<n> panics=<n> budget=<n> errors=<n> quarantined=<n> injected=<n> resumes=<n>
+//! health attempts=<n> retries=<n> panics=<n> budget=<n> errors=<n> quarantined=<n> injected=<n> resumes=<n> cache_hits=<n> cache_misses=<n>
 //! pop <chromosome as 0/1 string>        (one line per individual)
 //! sum <FNV-1a 64 of everything above, hex>
 //! ```
@@ -38,8 +38,9 @@ use crate::encoding::{Chromosome, BITS_PER_TEMPLATE};
 use crate::ga::GaConfig;
 use crate::supervisor::SearchHealth;
 
-/// First line of every checkpoint file; bump `v1` on breaking changes.
-pub const CHECKPOINT_MAGIC: &str = "qpredict-ga-checkpoint v1";
+/// First line of every checkpoint file; bump the version on breaking
+/// changes (v2 added the estimate-cache counters to the health line).
+pub const CHECKPOINT_MAGIC: &str = "qpredict-ga-checkpoint v2";
 
 /// Default checkpoint file name inside a `--checkpoint-dir`.
 pub const CHECKPOINT_FILE: &str = "ga.ckpt";
@@ -288,7 +289,7 @@ impl Checkpoint {
         let _ = writeln!(
             s,
             "health attempts={} retries={} panics={} budget={} errors={} quarantined={} \
-             injected={} resumes={}",
+             injected={} resumes={} cache_hits={} cache_misses={}",
             h.attempts,
             h.retries,
             h.panics,
@@ -296,7 +297,9 @@ impl Checkpoint {
             h.eval_errors,
             h.quarantined,
             h.injected_faults,
-            h.resumes
+            h.resumes,
+            h.cache_hits,
+            h.cache_misses
         );
         for c in &self.population {
             let _ = writeln!(s, "pop {}", bits_to_string(c));
@@ -564,6 +567,8 @@ fn parse_health(rest: &str) -> Result<SearchHealth, String> {
             "quarantined",
             "injected",
             "resumes",
+            "cache_hits",
+            "cache_misses",
         ],
     )?;
     let dec = |s: &str| {
@@ -579,6 +584,8 @@ fn parse_health(rest: &str) -> Result<SearchHealth, String> {
         quarantined: dec(v[5])?,
         injected_faults: dec(v[6])?,
         resumes: dec(v[7])?,
+        cache_hits: dec(v[8])?,
+        cache_misses: dec(v[9])?,
     })
 }
 
@@ -643,6 +650,8 @@ mod tests {
                 quarantined: 1,
                 injected_faults: 3,
                 resumes: 1,
+                cache_hits: (gen * pop * 10) as u64,
+                cache_misses: (gen * pop) as u64,
             },
             population,
         }

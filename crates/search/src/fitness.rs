@@ -1,7 +1,16 @@
 //! Fitness evaluation: how well a template set predicts run times over a
 //! recorded prediction workload.
+//!
+//! Every replay routes through a [`CachingPredictor`]: prediction
+//! workloads recorded from wait-time forecasts re-request the same
+//! `(job, elapsed)` estimates many times between `Insert` events, and
+//! within such a span the predictor's generation — hence every estimate
+//! — is frozen, so the repeats are cache hits. The recorded error stream
+//! is identical to an uncached replay; only the work changes.
 
-use qpredict_predict::{ErrorStats, RunTimePredictor, SmithPredictor, TemplateSet};
+use qpredict_predict::{
+    CacheStats, CachingPredictor, ErrorStats, RunTimePredictor, SmithPredictor, TemplateSet,
+};
 use qpredict_sim::SimError;
 use qpredict_workload::Workload;
 
@@ -11,7 +20,17 @@ use crate::workloads::{PredEvent, PredictionWorkload};
 /// return the prediction-error statistics. Lower mean absolute error is
 /// better; this is the raw error `E` the GA's fitness scaling consumes.
 pub fn evaluate(set: &TemplateSet, wl: &Workload, pw: &PredictionWorkload) -> ErrorStats {
-    let mut predictor = SmithPredictor::new(set.clone());
+    evaluate_with_cache(set, wl, pw).0
+}
+
+/// Like [`evaluate`], also returning the estimate-cache counters of the
+/// replay (folded into `SearchHealth` by the supervisor).
+pub fn evaluate_with_cache(
+    set: &TemplateSet,
+    wl: &Workload,
+    pw: &PredictionWorkload,
+) -> (ErrorStats, CacheStats) {
+    let mut predictor = CachingPredictor::new(SmithPredictor::new(set.clone()));
     let mut stats = ErrorStats::new();
     for ev in &pw.events {
         match *ev {
@@ -23,7 +42,7 @@ pub fn evaluate(set: &TemplateSet, wl: &Workload, pw: &PredictionWorkload) -> Er
             PredEvent::Insert { job } => predictor.on_complete(wl.job(job)),
         }
     }
-    stats
+    (stats, predictor.stats())
 }
 
 /// The step budget [`evaluate_guarded`] derives when the caller passes
@@ -44,7 +63,18 @@ pub fn evaluate_guarded(
     pw: &PredictionWorkload,
     max_steps: u64,
 ) -> Result<ErrorStats, SimError> {
-    let mut predictor = SmithPredictor::new(set.clone());
+    evaluate_guarded_with_cache(set, wl, pw, max_steps).map(|(stats, _)| stats)
+}
+
+/// Like [`evaluate_guarded`], also returning the estimate-cache counters
+/// of the replay so the supervisor can fold them into `SearchHealth`.
+pub fn evaluate_guarded_with_cache(
+    set: &TemplateSet,
+    wl: &Workload,
+    pw: &PredictionWorkload,
+    max_steps: u64,
+) -> Result<(ErrorStats, CacheStats), SimError> {
+    let mut predictor = CachingPredictor::new(SmithPredictor::new(set.clone()));
     let mut stats = ErrorStats::new();
     let mut steps = 0u64;
     for ev in &pw.events {
@@ -61,7 +91,7 @@ pub fn evaluate_guarded(
             PredEvent::Insert { job } => predictor.on_complete(wl.job(job)),
         }
     }
-    Ok(stats)
+    Ok((stats, predictor.stats()))
 }
 
 /// Evaluate many template sets in parallel over the same workload,
@@ -189,5 +219,20 @@ mod tests {
         let set = TemplateSet::new(vec![Template::mean_over(&[])]);
         let stats = evaluate(&set, &wl, &pw);
         assert_eq!(stats.count(), pw.n_predictions as u64);
+    }
+
+    #[test]
+    fn cached_replay_is_invisible_to_the_error_stream() {
+        let (wl, pw) = setup();
+        let set = TemplateSet::new(vec![Template::mean_over(&[Characteristic::User])]);
+        let (stats, cache) = evaluate_with_cache(&set, &wl, &pw);
+        assert_eq!(stats, evaluate(&set, &wl, &pw));
+        // Every Predict event was scored, hit or miss.
+        assert_eq!(cache.total(), pw.n_predictions as u64);
+        let (guarded, gcache) =
+            evaluate_guarded_with_cache(&set, &wl, &pw, derived_eval_budget(&pw))
+                .expect("budget is generous");
+        assert_eq!(guarded, stats);
+        assert_eq!(gcache, cache);
     }
 }

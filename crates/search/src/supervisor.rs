@@ -37,7 +37,7 @@ use qpredict_predict::{ErrorStats, TemplateSet};
 use qpredict_sim::{FaultPlan, SimError};
 use qpredict_workload::{JobId, Rng64, Workload};
 
-use crate::fitness::{derived_eval_budget, evaluate_guarded};
+use crate::fitness::{derived_eval_budget, evaluate_guarded_with_cache};
 use crate::workloads::PredictionWorkload;
 
 /// Payload of an injected evaluator panic, so chaos tests and the CLI
@@ -142,6 +142,12 @@ pub struct SearchHealth {
     pub injected_faults: u64,
     /// Times the search was resumed from a checkpoint.
     pub resumes: u64,
+    /// Estimate-cache hits across all successful fitness replays
+    /// (deterministic for a given workload/population, so safe to
+    /// compare across thread counts and resume boundaries).
+    pub cache_hits: u64,
+    /// Estimate-cache misses across all successful fitness replays.
+    pub cache_misses: u64,
 }
 
 impl SearchHealth {
@@ -160,6 +166,8 @@ impl SearchHealth {
         self.quarantined += other.quarantined;
         self.injected_faults += other.injected_faults;
         self.resumes += other.resumes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
     }
 
     /// Multi-line human-readable report (one line per non-zero class),
@@ -178,6 +186,8 @@ impl SearchHealth {
             ("individuals quarantined", self.quarantined),
             ("injected faults", self.injected_faults),
             ("resumes from checkpoint", self.resumes),
+            ("estimate-cache hits", self.cache_hits),
+            ("estimate-cache misses", self.cache_misses),
         ] {
             if n > 0 {
                 s.push_str(&format!("\n{label:<24} {n}"));
@@ -277,15 +287,19 @@ fn evaluate_one(
             .and_then(|p| draw_fault(p, generation, idx as u64, attempt));
         let attempt_result = catch_unwind(AssertUnwindSafe(|| match fault {
             Some(InjectedFault::Panic) => std::panic::panic_any(InjectedPanic),
-            Some(InjectedFault::Hang) => evaluate_guarded(set, wl, pw, 0),
+            Some(InjectedFault::Hang) => evaluate_guarded_with_cache(set, wl, pw, 0),
             Some(InjectedFault::Error) => Err(SimError::EstimateFailed {
                 job: JobId(0),
                 reason: "injected evaluator fault".into(),
             }),
-            None => evaluate_guarded(set, wl, pw, budget),
+            None => evaluate_guarded_with_cache(set, wl, pw, budget),
         }));
         let cause = match attempt_result {
-            Ok(Ok(stats)) => return (EvalOutcome::Ok(stats), health),
+            Ok(Ok((stats, cache))) => {
+                health.cache_hits += cache.hits;
+                health.cache_misses += cache.misses;
+                return (EvalOutcome::Ok(stats), health);
+            }
             Ok(Err(SimError::BudgetExhausted { .. })) => {
                 health.budget_exhausted += 1;
                 FailureCause::Budget
@@ -544,6 +558,8 @@ mod tests {
             quarantined: 1,
             injected_faults: 4,
             resumes: 2,
+            cache_hits: 9,
+            cache_misses: 5,
         };
         let s = h.summary();
         for needle in [
@@ -553,6 +569,8 @@ mod tests {
             "individuals quarantined",
             "injected faults",
             "resumes from checkpoint",
+            "estimate-cache hits",
+            "estimate-cache misses",
         ] {
             assert!(s.contains(needle), "{s}");
         }

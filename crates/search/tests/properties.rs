@@ -123,6 +123,8 @@ mod checkpoint_codec {
                 quarantined: rng.next_u64() % 100,
                 injected_faults: rng.next_u64() % 300,
                 resumes: rng.next_u64() % 10,
+                cache_hits: rng.next_u64() % 1_000_000,
+                cache_misses: rng.next_u64() % 100_000,
             },
             population: (0..population).map(|_| chromo(rng)).collect(),
         }

@@ -2,13 +2,14 @@
 //! estimators.
 //!
 //! The full predictor suite (template-based, Gibbons, Downey) lives in
-//! `qpredict-predict` and is adapted onto [`RuntimeEstimator`] by
-//! `qpredict-core`; the estimators here are the ones the simulator itself
-//! needs for baselines and tests.
+//! `qpredict-predict`, and every [`qpredict_predict::RunTimePredictor`]
+//! is a [`RuntimeEstimator`] via the blanket impl below — including the
+//! memoizing [`qpredict_predict::CachingPredictor`], so a cached
+//! predictor can drive the engine directly. The estimators defined here
+//! are the ones the simulator itself needs for baselines and tests.
 
-use std::collections::HashMap;
-
-use qpredict_workload::{Characteristic, Dur, Job, Sym, Time, Workload};
+use qpredict_predict::{MaxRuntimePredictor, RunTimePredictor};
+use qpredict_workload::{Dur, Job, Time, Workload};
 
 /// Why an estimator could not supply a usable estimate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,6 +52,24 @@ pub trait RuntimeEstimator {
     fn on_complete(&mut self, _job: &Job, _now: Time) {}
 }
 
+/// Every run-time predictor is directly usable as the engine's
+/// estimator: predictions supply the estimate (the current wall-clock is
+/// irrelevant to a predictor — only the job's elapsed running time
+/// matters) and completions feed the predictor's history. This is the
+/// unification point of the estimation layer: the simulator, the
+/// experiment drivers, and the GA's fitness loop all consult the same
+/// [`RunTimePredictor`] implementations, optionally memoized by
+/// [`qpredict_predict::CachingPredictor`].
+impl<P: RunTimePredictor> RuntimeEstimator for P {
+    fn estimate(&mut self, job: &Job, _now: Time, elapsed: Dur) -> Dur {
+        self.predict(job, elapsed).estimate
+    }
+
+    fn on_complete(&mut self, job: &Job, _now: Time) {
+        RunTimePredictor::on_complete(self, job);
+    }
+}
+
 /// The oracle: estimates are the actual run times. Gives the paper's
 /// upper-bound rows (Tables 4 and 10).
 #[derive(Debug, Clone, Copy, Default)]
@@ -77,31 +96,28 @@ impl RuntimeEstimator for ConstantEstimator {
 /// workloads without recorded limits (the SDSC traces), per-queue maxima
 /// are derived from the trace, exactly as the paper does: the longest
 /// running job in each queue becomes the maximum for that queue.
+///
+/// The limit derivation is shared with
+/// [`qpredict_predict::MaxRuntimePredictor`] — this type is the thin
+/// engine-facing face of the same logic (it exists separately only so
+/// the simulator's baselines need no predictor boxing).
 #[derive(Debug, Clone)]
 pub struct MaxRuntimeEstimator {
-    queue_max: HashMap<Option<Sym>, Dur>,
-    global_max: Dur,
+    limits: MaxRuntimePredictor,
 }
 
 impl MaxRuntimeEstimator {
     /// Build from a workload, deriving per-queue maxima for jobs without
     /// explicit limits.
     pub fn from_workload(w: &Workload) -> MaxRuntimeEstimator {
-        let queue_max = w.derive_queue_max_runtimes();
-        let global_max = queue_max.get(&None).copied().unwrap_or(Dur::HOUR);
         MaxRuntimeEstimator {
-            queue_max,
-            global_max,
+            limits: MaxRuntimePredictor::from_workload(w),
         }
     }
 
     /// The estimate used for `job` before clamping by elapsed time.
     pub fn limit_for(&self, job: &Job) -> Dur {
-        if let Some(m) = job.max_runtime {
-            return m;
-        }
-        let q = job.characteristic(Characteristic::Queue);
-        self.queue_max.get(&q).copied().unwrap_or(self.global_max)
+        self.limits.limit_for(job)
     }
 }
 
@@ -114,7 +130,7 @@ impl RuntimeEstimator for MaxRuntimeEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qpredict_workload::{JobBuilder, JobId};
+    use qpredict_workload::{Characteristic, JobBuilder, JobId};
 
     #[test]
     fn actual_returns_runtime() {

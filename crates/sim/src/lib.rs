@@ -39,5 +39,6 @@ pub use estimators::{
 pub use fault::{FaultCounts, FaultPlan, FaultReport, FaultyEstimator};
 pub use metrics::{JobOutcome, Metrics};
 pub use profile::Profile;
+pub use qpredict_predict::CacheStats;
 pub use scheduler::{schedule_pass, Algorithm, QueueEntry, RunningView};
 pub use timeline::{timeline_of, Timeline};

@@ -1,6 +1,7 @@
 //! Schedule outcomes and the performance metrics the paper reports
 //! (utilization, mean wait time) plus standard extras.
 
+use qpredict_predict::CacheStats;
 use qpredict_workload::{Dur, JobId, Time, Workload};
 
 /// When one job was submitted, started, and finished in a completed
@@ -51,6 +52,11 @@ pub struct Metrics {
     pub mean_bounded_slowdown: f64,
     /// Total work in node-seconds.
     pub total_work_node_s: f64,
+    /// Estimate-cache hit/miss/invalidation counters, when the run was
+    /// driven through a [`qpredict_predict::CachingPredictor`]. `None`
+    /// for runs that never consulted the caching layer. Purely
+    /// observability: two otherwise-identical schedules may differ here.
+    pub estimate_cache: Option<CacheStats>,
 }
 
 impl Metrics {
@@ -68,6 +74,7 @@ impl Metrics {
                 makespan: Dur::ZERO,
                 mean_bounded_slowdown: 0.0,
                 total_work_node_s: 0.0,
+                estimate_cache: None,
             };
         }
         let mut waits: Vec<i64> = outcomes.iter().map(|o| o.wait().seconds()).collect();
@@ -128,6 +135,7 @@ impl Metrics {
             makespan,
             mean_bounded_slowdown: bsld,
             total_work_node_s: total_work,
+            estimate_cache: None,
         }
     }
 }

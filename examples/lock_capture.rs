@@ -1,0 +1,119 @@
+//! One-off capture of scheduler/wait-time outputs used to seed the
+//! estimation-refactor regression lock (`tests/estimation_lock.rs`).
+//!
+//! Run with `cargo run --release --example lock_capture` and paste the
+//! printed rows into the lock test's constant tables. Every floating
+//! value is fingerprinted via `f64::to_bits`, so the lock is exact to
+//! the last ulp — any change in summation order, estimator math, or
+//! scheduling decisions shows up as a mismatch.
+
+use qpredict_core::{run_scheduling, run_wait_prediction, PredictorKind};
+use qpredict_predict::{ErrorStats, EstimatorKind, Template, TemplateSet};
+use qpredict_sim::{Algorithm, Metrics};
+use qpredict_workload::synthetic::toy;
+use qpredict_workload::Characteristic as C;
+
+/// FNV-1a over the bit patterns of an [`ErrorStats`]' public accessors
+/// (which jointly determine every private field up to bit identity).
+fn fp_stats(e: &ErrorStats) -> u64 {
+    let words = [
+        e.count(),
+        e.mean_abs_error_min().to_bits(),
+        e.mean_bias_min().to_bits(),
+        e.mean_actual_min().to_bits(),
+        e.rmse_min().to_bits(),
+        e.max_abs_error_min().to_bits(),
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over a schedule's [`Metrics`].
+fn fp_metrics(m: &Metrics) -> u64 {
+    let words = [
+        m.n_jobs as u64,
+        m.mean_wait.seconds() as u64,
+        m.median_wait.seconds() as u64,
+        m.max_wait.seconds() as u64,
+        m.makespan.seconds() as u64,
+        m.utilization.to_bits(),
+        m.utilization_window.to_bits(),
+        m.mean_bounded_slowdown.to_bits(),
+        m.total_work_node_s.to_bits(),
+    ];
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A template set that deliberately exercises every estimator path:
+/// regressions in all three transform spaces, relative (ratio) values,
+/// capped history (the eviction path), and elapsed-time conditioning.
+fn lock_set() -> TemplateSet {
+    TemplateSet::new(vec![
+        Template::mean_over(&[C::User, C::Executable]).with_node_range(1),
+        Template::mean_over(&[C::User]).with_estimator(EstimatorKind::LinearRegression),
+        Template::mean_over(&[C::User])
+            .with_estimator(EstimatorKind::InverseRegression)
+            .relative(),
+        Template::mean_over(&[C::Executable])
+            .with_estimator(EstimatorKind::LogRegression)
+            .with_max_history(8),
+        Template::mean_over(&[]).relative().with_max_history(4),
+        Template::mean_over(&[C::User]).with_rtime(),
+    ])
+}
+
+fn kinds() -> Vec<(&'static str, PredictorKind)> {
+    vec![
+        ("actual", PredictorKind::Actual),
+        ("maxrt", PredictorKind::MaxRuntime),
+        ("smith", PredictorKind::Smith),
+        ("smith-lock", PredictorKind::SmithWith(lock_set())),
+        ("gibbons", PredictorKind::Gibbons),
+        ("downey-avg", PredictorKind::DowneyAverage),
+    ]
+}
+
+fn main() {
+    println!("// --- scheduling lock: toy(300, 32, 41) ---");
+    let wl = toy(300, 32, 41);
+    for alg in [Algorithm::Lwf, Algorithm::Backfill, Algorithm::EasyBackfill] {
+        for (label, kind) in kinds() {
+            let out = run_scheduling(&wl, alg, kind);
+            println!(
+                "    (\"{alg}\", \"{label}\", {:#018x}, {:#018x}),",
+                fp_metrics(&out.metrics),
+                fp_stats(&out.runtime_errors),
+            );
+        }
+    }
+
+    println!("// --- wait-time lock: toy(220, 32, 42) ---");
+    let wl = toy(220, 32, 42);
+    for (alg, label, kind) in [
+        (Algorithm::Fcfs, "smith", PredictorKind::Smith),
+        (
+            Algorithm::Lwf,
+            "smith-lock",
+            PredictorKind::SmithWith(lock_set()),
+        ),
+        (Algorithm::Backfill, "smith", PredictorKind::Smith),
+        (Algorithm::Backfill, "gibbons", PredictorKind::Gibbons),
+    ] {
+        let out = run_wait_prediction(&wl, alg, kind);
+        println!(
+            "    (\"{alg}\", \"{label}\", {:#018x}, {:#018x}, {:#018x}),",
+            fp_metrics(&out.metrics),
+            fp_stats(&out.wait_errors),
+            fp_stats(&out.runtime_errors),
+        );
+    }
+}

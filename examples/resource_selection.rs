@@ -63,7 +63,7 @@ fn main() {
         let mut predictor = PredictorKind::Smith.build(wl);
         for j in &wl.jobs {
             if j.submit + j.runtime < snap.now {
-                predictor.on_complete(j);
+                RunTimePredictor::on_complete(&mut predictor, j);
             }
         }
 

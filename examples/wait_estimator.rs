@@ -61,7 +61,7 @@ impl SimHooks for KioskHooks<'_> {
     }
 
     fn on_job_complete(&mut self, job: &Job, _now: Time) {
-        self.kiosk.predictor.on_complete(job);
+        RunTimePredictor::on_complete(&mut self.kiosk.predictor, job);
     }
 }
 

@@ -19,4 +19,10 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# One-iteration smoke run of every bench: catches panics, broken
+# assertions, and artifact-emission bugs in the bench binaries without
+# paying for real measurements.
+echo "==> QPREDICT_BENCH_SMOKE=1 cargo bench -q -p qpredict-bench"
+QPREDICT_BENCH_SMOKE=1 cargo bench -q -p qpredict-bench
+
 echo "CI green."

@@ -1,0 +1,203 @@
+//! Regression lock for the estimation-layer refactor: scheduler and
+//! wait-time experiment outputs must stay **bit-identical** to the
+//! pre-refactor implementation for fixed seeds.
+//!
+//! The expected fingerprints were captured at the pre-refactor commit by
+//! `examples/lock_capture.rs` (FNV-1a over `f64::to_bits` of every
+//! metric and error statistic, so equality holds to the last ulp). The
+//! locked template set deliberately exercises every estimator path:
+//! all three regression transform spaces, relative (ratio) values,
+//! capped history (the eviction path), and elapsed-time conditioning.
+//!
+//! If one of these assertions ever fails, the change was NOT
+//! behavior-preserving: either fix it or consciously re-capture.
+
+use qpredict_core::{run_scheduling, run_wait_prediction, PredictorKind};
+use qpredict_predict::{ErrorStats, EstimatorKind, Template, TemplateSet};
+use qpredict_sim::{Algorithm, Metrics};
+use qpredict_workload::synthetic::toy;
+use qpredict_workload::Characteristic as C;
+
+fn fnv(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        h ^= w;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fp_stats(e: &ErrorStats) -> u64 {
+    fnv([
+        e.count(),
+        e.mean_abs_error_min().to_bits(),
+        e.mean_bias_min().to_bits(),
+        e.mean_actual_min().to_bits(),
+        e.rmse_min().to_bits(),
+        e.max_abs_error_min().to_bits(),
+    ])
+}
+
+fn fp_metrics(m: &Metrics) -> u64 {
+    fnv([
+        m.n_jobs as u64,
+        m.mean_wait.seconds() as u64,
+        m.median_wait.seconds() as u64,
+        m.max_wait.seconds() as u64,
+        m.makespan.seconds() as u64,
+        m.utilization.to_bits(),
+        m.utilization_window.to_bits(),
+        m.mean_bounded_slowdown.to_bits(),
+        m.total_work_node_s.to_bits(),
+    ])
+}
+
+fn lock_set() -> TemplateSet {
+    TemplateSet::new(vec![
+        Template::mean_over(&[C::User, C::Executable]).with_node_range(1),
+        Template::mean_over(&[C::User]).with_estimator(EstimatorKind::LinearRegression),
+        Template::mean_over(&[C::User])
+            .with_estimator(EstimatorKind::InverseRegression)
+            .relative(),
+        Template::mean_over(&[C::Executable])
+            .with_estimator(EstimatorKind::LogRegression)
+            .with_max_history(8),
+        Template::mean_over(&[]).relative().with_max_history(4),
+        Template::mean_over(&[C::User]).with_rtime(),
+    ])
+}
+
+fn kind_for(label: &str) -> PredictorKind {
+    match label {
+        "actual" => PredictorKind::Actual,
+        "maxrt" => PredictorKind::MaxRuntime,
+        "smith" => PredictorKind::Smith,
+        "smith-lock" => PredictorKind::SmithWith(lock_set()),
+        "gibbons" => PredictorKind::Gibbons,
+        "downey-avg" => PredictorKind::DowneyAverage,
+        other => panic!("unknown predictor label {other}"),
+    }
+}
+
+fn alg_for(label: &str) -> Algorithm {
+    match label {
+        "LWF" => Algorithm::Lwf,
+        "Backfill" => Algorithm::Backfill,
+        "EASY" => Algorithm::EasyBackfill,
+        "FCFS" => Algorithm::Fcfs,
+        other => panic!("unknown algorithm label {other}"),
+    }
+}
+
+/// (algorithm, predictor, metrics fingerprint, runtime-error fingerprint)
+/// for `run_scheduling` over `toy(300, 32, 41)` — captured pre-refactor.
+const SCHEDULING_LOCK: [(&str, &str, u64, u64); 18] = [
+    ("LWF", "actual", 0x09ca25c66f116e48, 0x3a93bcf178330cac),
+    ("LWF", "maxrt", 0x5c64ceeaf84294e4, 0x8a1ac8c20590c28a),
+    ("LWF", "smith", 0x2bec1541f8a043d8, 0x5b06411fc8cc9e08),
+    ("LWF", "smith-lock", 0x754bb3f9d9b9b4e8, 0x60438dee45c76b36),
+    ("LWF", "gibbons", 0x3c6272765c8718bb, 0x156a70eff28e7c44),
+    ("LWF", "downey-avg", 0xc4cd80e04bdd0043, 0x83ca279bc62ac01f),
+    ("Backfill", "actual", 0xe8caae92eba83ff8, 0x5244f8669a221c3a),
+    ("Backfill", "maxrt", 0xa9ad785323fe95a8, 0x3160a1d15eaab50e),
+    ("Backfill", "smith", 0xb122cad271fe446d, 0x35219c0f09322a81),
+    (
+        "Backfill",
+        "smith-lock",
+        0x852e280f3393ef06,
+        0x2ca65ff3c434f7c6,
+    ),
+    (
+        "Backfill",
+        "gibbons",
+        0xee693fde4ae9a869,
+        0x58ccda4c3e7764c3,
+    ),
+    (
+        "Backfill",
+        "downey-avg",
+        0xead947367f85e9cf,
+        0x4c3849523d5f5874,
+    ),
+    ("EASY", "actual", 0x782ebb0779112b6c, 0x892346fe7cdcba87),
+    ("EASY", "maxrt", 0x341878af6d7e1c9a, 0xba97af38afc094c5),
+    ("EASY", "smith", 0x87aa1a2e92fd68c7, 0x75f1a18070f9c696),
+    ("EASY", "smith-lock", 0x11e7e7b607bcce68, 0xe128673d84952ea8),
+    ("EASY", "gibbons", 0xc3aa245270c39259, 0xf3a419c3ff49d288),
+    ("EASY", "downey-avg", 0xc251a2f02d1ae2e6, 0x21640c1db0e0f0ac),
+];
+
+/// (algorithm, predictor, metrics fp, wait-error fp, runtime-error fp)
+/// for `run_wait_prediction` over `toy(220, 32, 42)` — captured
+/// pre-refactor.
+const WAITTIME_LOCK: [(&str, &str, u64, u64, u64); 4] = [
+    (
+        "FCFS",
+        "smith",
+        0x1bed309a223e8290,
+        0xf3bd92f0a2a38993,
+        0x62920edc831b0c9b,
+    ),
+    (
+        "LWF",
+        "smith-lock",
+        0xfb1fc91d164b7b0c,
+        0xb00d97a199d90c5d,
+        0x53e340ba3146013d,
+    ),
+    (
+        "Backfill",
+        "smith",
+        0xce979c3d2e66e952,
+        0x73e55166cb913b4f,
+        0xdbe4e99d1875e10b,
+    ),
+    (
+        "Backfill",
+        "gibbons",
+        0xce979c3d2e66e952,
+        0xf24779ac3811266a,
+        0x6989a38ee5184acb,
+    ),
+];
+
+#[test]
+fn scheduling_outputs_are_bit_identical_to_pre_refactor() {
+    let wl = toy(300, 32, 41);
+    for (alg, kind, metrics_fp, rt_fp) in SCHEDULING_LOCK {
+        let out = run_scheduling(&wl, alg_for(alg), kind_for(kind));
+        assert_eq!(
+            fp_metrics(&out.metrics),
+            metrics_fp,
+            "{alg} + {kind}: schedule metrics drifted from pre-refactor capture"
+        );
+        assert_eq!(
+            fp_stats(&out.runtime_errors),
+            rt_fp,
+            "{alg} + {kind}: runtime-error stats drifted from pre-refactor capture"
+        );
+    }
+}
+
+#[test]
+fn wait_prediction_outputs_are_bit_identical_to_pre_refactor() {
+    let wl = toy(220, 32, 42);
+    for (alg, kind, metrics_fp, wait_fp, rt_fp) in WAITTIME_LOCK {
+        let out = run_wait_prediction(&wl, alg_for(alg), kind_for(kind));
+        assert_eq!(
+            fp_metrics(&out.metrics),
+            metrics_fp,
+            "{alg} + {kind}: outer-schedule metrics drifted"
+        );
+        assert_eq!(
+            fp_stats(&out.wait_errors),
+            wait_fp,
+            "{alg} + {kind}: wait-error stats drifted"
+        );
+        assert_eq!(
+            fp_stats(&out.runtime_errors),
+            rt_fp,
+            "{alg} + {kind}: runtime-error stats drifted"
+        );
+    }
+}

@@ -96,7 +96,7 @@ fn wait_intervals_bracket_and_widen() {
 
     let mut predictor = PredictorKind::Smith.build(&wl);
     for j in wl.jobs.iter().take(wl.len() / 2) {
-        predictor.on_complete(j);
+        RunTimePredictor::on_complete(&mut predictor, j);
     }
     let iv = forecast_start_interval(
         &wl,

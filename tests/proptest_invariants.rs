@@ -182,7 +182,7 @@ fn predictions_respect_elapsed() {
             use qpredict::predict::RunTimePredictor;
             // Train on the first half.
             for j in wl.jobs.iter().take(30) {
-                p.on_complete(j);
+                RunTimePredictor::on_complete(&mut p, j);
             }
             let pred = p.predict(&wl.jobs[40], Dur(elapsed));
             assert!(
