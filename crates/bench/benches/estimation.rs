@@ -91,6 +91,32 @@ fn scan_reduction() -> (u64, u64) {
     (ops.scanned_points, naive)
 }
 
+/// Per-call cost of the observability layer's disarmed path (recording
+/// off): one span guard plus the four counter increments the hottest
+/// instrumented seam (`smith.predict`) performs. Returns seconds per
+/// instrumented call, amortized over an inner loop so the timer
+/// resolution doesn't dominate.
+fn bench_obs_off_path() -> f64 {
+    assert!(
+        !qpredict_obs::recording(),
+        "overhead bench measures the recording-OFF path"
+    );
+    const INNER: u64 = 1_000;
+    let secs = bench("estimation", "obs-off/span+4-counters-x1000", || {
+        let mut acc = 0u64;
+        for i in 0..INNER {
+            let _span = qpredict_obs::span("bench.off");
+            qpredict_obs::counter_add("bench.a", 1);
+            qpredict_obs::counter_add("bench.b", 1);
+            qpredict_obs::counter_add("bench.c", 1);
+            qpredict_obs::counter_add("bench.d", 1);
+            acc = acc.wrapping_add(i);
+        }
+        acc
+    });
+    secs / INNER as f64
+}
+
 fn write_json(path: &std::path::Path, fields: &[(&str, String)]) {
     let mut s = String::from("{\n");
     for (i, (k, v)) in fields.iter().enumerate() {
@@ -115,6 +141,10 @@ fn main() {
     let (waittime_secs, hit_rate) = bench_waittime_cell();
     let (scanned, naive) = scan_reduction();
     let reduction = naive as f64 / (scanned.max(1)) as f64;
+    // Fraction of one uncached prediction's time that the disarmed
+    // instrumentation on its path costs.
+    let obs_off_per_call = bench_obs_off_path();
+    let obs_off_fraction = obs_off_per_call * uncached_eps;
 
     // Smoke runs still exercise the emission path, but into a scratch
     // location so they never clobber the committed trajectory artifact.
@@ -144,12 +174,25 @@ fn main() {
             ("history_points_scanned", scanned.to_string()),
             ("history_points_naive_scan", naive.to_string()),
             ("scan_reduction_factor", num(reduction)),
+            ("obs_off_ns_per_call", num(obs_off_per_call * 1e9)),
+            ("obs_off_overhead_fraction", num(obs_off_fraction)),
         ],
     );
     println!("estimation/scan-reduction          {reduction:.1}x fewer points scanned");
+    println!(
+        "estimation/obs-off-overhead        {:.2} ns/call ({:.3}% of an uncached predict)",
+        obs_off_per_call * 1e9,
+        100.0 * obs_off_fraction
+    );
     println!("wrote {}", path.display());
     assert!(
         reduction >= 2.0,
         "moment fast paths must eliminate >=2x of naive history scanning, got {reduction:.2}x"
+    );
+    assert!(
+        obs_off_fraction < 0.02,
+        "disarmed observability must stay under 2% of an uncached predict, \
+         got {:.3}%",
+        100.0 * obs_off_fraction
     );
 }

@@ -55,6 +55,8 @@ pub fn forecast_start(
     mut predict: impl FnMut(&Job, Dur) -> Dur,
     target: JobId,
 ) -> Time {
+    let _span = qpredict_obs::span("forecast");
+    qpredict_obs::counter_add("forecast.calls", 1);
     assert!(
         snap.queued.iter().any(|&(id, _)| id == target),
         "forecast target must be in the queue"

@@ -59,6 +59,7 @@ pub fn run_scheduling_with(
     kind: PredictorKind,
     faults: Option<&FaultPlan>,
 ) -> SchedulingOutcome {
+    let _span = qpredict_obs::span("run.scheduling");
     let (faulted, trace_report) = match faults {
         Some(plan) if plan.has_trace_faults() => {
             let (w, r) = plan.apply_to_workload(wl);

@@ -123,6 +123,7 @@ fn run_wait_prediction_with(
     alg: Algorithm,
     predictor: crate::kind::BoxedPredictor,
 ) -> WaitPredictionOutcome {
+    let _span = qpredict_obs::span("run.waitpred");
     let predictor_name = predictor.name();
     let mut study = WaitStudy {
         wl,

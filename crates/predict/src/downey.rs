@@ -47,6 +47,10 @@ struct CdfModel {
     beta1: f64,
     /// `e^((1 - beta0) / beta1)`: the model's maximum lifetime.
     tmax: f64,
+    /// Standard error of the fitted CDF level mapped into `ln t` units:
+    /// `sqrt(resid_var / n) / beta1`. Shrinks as the category gains
+    /// history; zero for a perfect fit.
+    se_ln: f64,
 }
 
 /// One category's observations and (lazily refitted) model.
@@ -72,12 +76,13 @@ impl Category {
     /// empirical CDF points `(ln t_(i), (i + 0.5) / n)`.
     fn fit(&mut self) -> Option<CdfModel> {
         if self.dirty {
+            let _span = qpredict_obs::span("downey.fit");
             self.dirty = false;
             self.model = None;
             let n = self.runtimes.len();
             if n >= MIN_POINTS {
                 let nf = n as f64;
-                let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+                let (mut sx, mut sy, mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0, 0.0, 0.0);
                 for (i, &t) in self.runtimes.iter().enumerate() {
                     let x = t.max(1.0).ln();
                     let y = (i as f64 + 0.5) / nf;
@@ -85,17 +90,26 @@ impl Category {
                     sy += y;
                     sxx += x * x;
                     sxy += x * y;
+                    syy += y * y;
                 }
                 let sxx_c = sxx - sx * sx / nf;
                 if sxx_c > 1e-9 {
                     let beta1 = (sxy - sx * sy / nf) / sxx_c;
                     let beta0 = sy / nf - beta1 * sx / nf;
                     if beta1 > 1e-9 {
-                        let expo = ((1.0 - beta0) / beta1).min(30.0); // cap e^30 ~ 10^13 s
+                        // cap e^30 ~ 10^13 s
+                        let expo = ((1.0 - beta0) / beta1).min(30.0);
+                        // Residual spread of the fit, via the identity
+                        // rss = Syy_c - beta1^2 * Sxx_c (clamped against
+                        // rounding), with n-2 regression dofs.
+                        let syy_c = syy - sy * sy / nf;
+                        let rss = (syy_c - beta1 * beta1 * sxx_c).max(0.0);
+                        let resid_var = rss / (nf - 2.0).max(1.0);
                         self.model = Some(CdfModel {
                             beta0,
                             beta1,
                             tmax: expo.exp(),
+                            se_ln: (resid_var / nf).sqrt() / beta1,
                         });
                     }
                 }
@@ -166,9 +180,13 @@ impl DowneyPredictor {
     /// median formula `sqrt(age * t_max)` exactly.
     ///
     /// Returns `None` until the job's category (or the pooled fallback)
-    /// has a valid model.
+    /// has a valid model, and `None` for a quantile outside `[0, 1]`
+    /// (including NaN) — a nonsensical `q` is a caller bug we surface as
+    /// "no answer" rather than a panic deep inside a simulation.
     pub fn predict_quantile(&mut self, job: &Job, elapsed: Dur, q: f64) -> Option<Dur> {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if !(0.0..=1.0).contains(&q) {
+            return None;
+        }
         let key = self.category_value(job);
         let model = self
             .categories
@@ -206,6 +224,7 @@ impl RunTimePredictor for DowneyPredictor {
     }
 
     fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        let _span = qpredict_obs::span("downey.predict");
         let key = self.category_value(job);
         let model = self
             .categories
@@ -215,12 +234,15 @@ impl RunTimePredictor for DowneyPredictor {
         match model {
             Some(m) => {
                 let v = self.point_estimate(m, elapsed.as_secs_f64());
+                // A ±z·se band around the fitted CDF level maps to a
+                // multiplicative e^(±z·se) band in time, so the interval
+                // tightens as the category accumulates history.
+                const Z: f64 = 1.96;
+                let zse = (Z * m.se_ln).min(30.0);
+                let half = v.max(1.0) * (zse.exp() - (-zse).exp()) / 2.0;
                 Prediction {
                     estimate: Dur::from_secs_f64(v.max(1.0)),
-                    // Downey's model carries no per-prediction interval;
-                    // report the model's spread proxy (tmax) scale so
-                    // comparisons remain meaningful.
-                    ci_halfwidth: m.tmax,
+                    ci_halfwidth: half,
                     fallback: false,
                 }
                 .clamped(elapsed)
@@ -366,6 +388,58 @@ mod tests {
     }
 
     #[test]
+    fn quantile_out_of_range_is_none() {
+        let (mut syms, mut p) = trained(DowneyVariant::ConditionalMedian);
+        let j = qjob(&mut syms, "batch", 1);
+        assert!(p.predict_quantile(&j, Dur(20), 0.5).is_some());
+        assert!(p.predict_quantile(&j, Dur(20), -0.1).is_none());
+        assert!(p.predict_quantile(&j, Dur(20), 1.5).is_none());
+        assert!(p.predict_quantile(&j, Dur(20), f64::NAN).is_none());
+    }
+
+    #[test]
+    fn ci_shrinks_with_history() {
+        // Noisy log-uniform training data so the fit has real residual
+        // spread; the sin-based jitter is deterministic.
+        fn noisy(n: usize) -> (SymbolTable, DowneyPredictor) {
+            let mut syms = SymbolTable::new();
+            let mut p = DowneyPredictor::new(
+                DowneyVariant::ConditionalMedian,
+                Some(Characteristic::Queue),
+            );
+            for i in 0..n {
+                let u = (i as f64 + 0.5) / n as f64;
+                let jitter = 0.4 * (1e4 * (i as f64 + 1.0)).sin();
+                let rt = (2.0 + 6.0 * u + jitter).exp().max(1.0);
+                p.on_complete(&qjob(&mut syms, "batch", rt as i64));
+            }
+            (syms, p)
+        }
+        let (mut s10, mut p10) = noisy(10);
+        let (mut s200, mut p200) = noisy(200);
+        let ci10 = p10
+            .predict(&qjob(&mut s10, "batch", 1), Dur::ZERO)
+            .ci_halfwidth;
+        let ci200 = p200
+            .predict(&qjob(&mut s200, "batch", 1), Dur::ZERO)
+            .ci_halfwidth;
+        assert!(ci10.is_finite() && ci10 > 0.0, "ci10 {ci10}");
+        assert!(ci200.is_finite() && ci200 > 0.0, "ci200 {ci200}");
+        assert!(
+            ci200 < ci10 / 2.0,
+            "interval should tighten with history: ci10 {ci10}, ci200 {ci200}"
+        );
+        // And it is a genuine interval, not the old tmax proxy.
+        let m = p200
+            .categories
+            .get_mut(&Some(s200.intern("batch")))
+            .unwrap()
+            .fit()
+            .unwrap();
+        assert!(ci200 < m.tmax / 10.0, "ci200 {ci200} vs tmax {}", m.tmax);
+    }
+
+    #[test]
     fn quantile_none_without_history() {
         let mut syms = SymbolTable::new();
         let mut p = DowneyPredictor::new(DowneyVariant::ConditionalMedian, None);
@@ -376,21 +450,9 @@ mod tests {
 
     #[test]
     fn queues_are_separate_categories() {
+        // Each queue needs some runtime spread or its fit degenerates
+        // and falls back to the global model.
         let mut syms = SymbolTable::new();
-        let mut p = DowneyPredictor::new(
-            DowneyVariant::ConditionalMedian,
-            Some(Characteristic::Queue),
-        );
-        for _ in 0..10 {
-            p.on_complete(&qjob(&mut syms, "short", 10));
-            p.on_complete(&qjob(&mut syms, "long", 10_000));
-        }
-        let ps = p.predict(&qjob(&mut syms, "short", 1), Dur::ZERO);
-        let pl = p.predict(&qjob(&mut syms, "long", 1), Dur::ZERO);
-        // Identical runtimes per queue give a degenerate (constant) CDF;
-        // the fit fails (no spread) and falls back to the *global* model,
-        // so instead give each queue a little spread:
-        let _ = (ps, pl);
         let mut p = DowneyPredictor::new(
             DowneyVariant::ConditionalMedian,
             Some(Characteristic::Queue),

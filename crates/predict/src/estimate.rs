@@ -133,6 +133,7 @@ impl<P: RunTimePredictor> CachingPredictor<P> {
         if self.cached_gen != Some(gen) {
             if !self.cache.is_empty() {
                 self.stats.invalidations += 1;
+                qpredict_obs::counter_add("cache.invalidations", 1);
                 self.cache.clear();
             }
             self.cached_gen = Some(gen);
@@ -150,15 +151,18 @@ impl<P: RunTimePredictor> RunTimePredictor for CachingPredictor<P> {
             // Unobservable state: every call must reach the inner
             // predictor. Counted as misses so hit_rate reads 0.
             self.stats.misses += 1;
+            qpredict_obs::counter_add("cache.misses", 1);
             return self.inner.predict(job, elapsed);
         };
         self.sync_generation(gen);
         if let Some(p) = self.cache.get(&(job.id, elapsed)) {
             self.stats.hits += 1;
+            qpredict_obs::counter_add("cache.hits", 1);
             return *p;
         }
         let p = self.inner.predict(job, elapsed);
         self.stats.misses += 1;
+        qpredict_obs::counter_add("cache.misses", 1);
         self.cache.insert((job.id, elapsed), p);
         p
     }

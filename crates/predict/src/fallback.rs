@@ -118,17 +118,24 @@ impl RunTimePredictor for FallbackPredictor {
             match tier.try_predict(job, elapsed) {
                 Ok(p) => {
                     self.counts.served[i].1 += 1;
+                    qpredict_obs::counter_add("degrade.served", 1);
                     return p;
                 }
-                Err(_) => self.counts.degradations += 1,
+                Err(_) => {
+                    self.counts.degradations += 1;
+                    qpredict_obs::counter_add("degrade.degradations", 1);
+                }
             }
         }
         if job.max_runtime.is_some() {
             self.counts.user_limit += 1;
+            qpredict_obs::counter_add("degrade.user_limit", 1);
             return self.user_limit.predict(job, elapsed);
         }
         self.counts.degradations += 1;
         self.counts.static_default += 1;
+        qpredict_obs::counter_add("degrade.degradations", 1);
+        qpredict_obs::counter_add("degrade.static_default", 1);
         Prediction::fallback(self.static_default).clamped(elapsed)
     }
 

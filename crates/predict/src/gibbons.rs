@@ -142,6 +142,7 @@ impl RunTimePredictor for GibbonsPredictor {
     }
 
     fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        let _span = qpredict_obs::span("gibbons.predict");
         let u = job.characteristic(Characteristic::User);
         let e = job.characteristic(Characteristic::Executable);
         let bucket = node_bucket(job.nodes);
@@ -200,6 +201,7 @@ impl RunTimePredictor for GibbonsPredictor {
     }
 
     fn on_complete(&mut self, job: &Job) {
+        let _span = qpredict_obs::span("gibbons.learn");
         let u = job.characteristic(Characteristic::User);
         let e = job.characteristic(Characteristic::Executable);
         let bucket = node_bucket(job.nodes);

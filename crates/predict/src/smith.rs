@@ -212,6 +212,7 @@ impl RunTimePredictor for SmithPredictor {
     }
 
     fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        let _span = qpredict_obs::span("smith.predict");
         // Step 2: gather candidate estimates and keep the one with the
         // smallest confidence interval. Ties (e.g. two infinite
         // intervals) break toward more data points, then higher template
@@ -242,6 +243,10 @@ impl RunTimePredictor for SmithPredictor {
                 best = Some((est.ci, est.n, t.specificity(), ti, est.value));
             }
         }
+        qpredict_obs::counter_add("smith.scanned_points", ops.scanned_points);
+        qpredict_obs::counter_add("smith.moment_points", ops.moment_points);
+        qpredict_obs::counter_add("smith.moment_estimates", ops.moment_estimates);
+        qpredict_obs::counter_add("smith.scan_estimates", ops.scan_estimates);
         self.ops.merge(ops);
         let cap = (self.max_seen * 2.0).max(3600.0);
         match best {
@@ -256,6 +261,7 @@ impl RunTimePredictor for SmithPredictor {
     }
 
     fn on_complete(&mut self, job: &Job) {
+        let _span = qpredict_obs::span("smith.learn");
         self.store.insert(&self.set, job);
         self.global_sum += job.runtime.as_secs_f64();
         self.global_n += 1;

@@ -475,6 +475,8 @@ impl Checkpoint {
     /// over `path`. A kill at any instant leaves either the old or the
     /// new checkpoint intact, never a torn one.
     pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _span = qpredict_obs::span("ga.checkpoint");
+        qpredict_obs::counter_add("ga.checkpoints", 1);
         let io_err = |op: String| move |source: std::io::Error| CheckpointError::Io { op, source };
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {

@@ -282,6 +282,8 @@ impl GaRunner {
         pw: &PredictionWorkload,
         sup: &SupervisorConfig,
     ) -> Result<(), SearchError> {
+        let _span = qpredict_obs::span("ga.generation");
+        qpredict_obs::counter_add("ga.generations", 1);
         let sets: Vec<TemplateSet> = self.population.iter().map(|c| decode(c)).collect();
         let report = evaluate_generation(self.generation as u64, &sets, wl, pw, sup);
         self.health.absorb(&report.health);

@@ -348,6 +348,10 @@ pub fn evaluate_generation(
     pw: &PredictionWorkload,
     cfg: &SupervisorConfig,
 ) -> GenerationReport {
+    // Workers never record observability state (the registry is
+    // thread-local); this span and the health mirror below run on the
+    // caller's thread only.
+    let _span = qpredict_obs::span("ga.eval");
     let n = sets.len();
     let threads = cfg.threads.max(1).min(n.max(1));
     let mut outcomes: Vec<Option<EvalOutcome>> = vec![None; n];
@@ -397,6 +401,15 @@ pub fn evaluate_generation(
             })
         })
         .collect();
+    qpredict_obs::counter_add("search.attempts", health.attempts);
+    qpredict_obs::counter_add("search.retries", health.retries);
+    qpredict_obs::counter_add("search.panics", health.panics);
+    qpredict_obs::counter_add("search.budget_exhausted", health.budget_exhausted);
+    qpredict_obs::counter_add("search.eval_errors", health.eval_errors);
+    qpredict_obs::counter_add("search.quarantined", health.quarantined);
+    qpredict_obs::counter_add("search.injected_faults", health.injected_faults);
+    qpredict_obs::counter_add("search.cache_hits", health.cache_hits);
+    qpredict_obs::counter_add("search.cache_misses", health.cache_misses);
     GenerationReport { outcomes, health }
 }
 

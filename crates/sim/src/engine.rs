@@ -17,7 +17,7 @@ use qpredict_workload::{Dur, Job, JobId, Time, Workload};
 
 use crate::estimators::RuntimeEstimator;
 use crate::metrics::{JobOutcome, Metrics};
-use crate::scheduler::{schedule_pass, Algorithm, QueueEntry, RunningView};
+use crate::scheduler::{schedule_pass_reporting, Algorithm, QueueEntry, RunningView};
 
 /// A point-in-time view of the simulated system, captured after a
 /// submission is enqueued and before the scheduler reacts to it.
@@ -274,6 +274,7 @@ impl<'w> Simulation<'w> {
             }
         }
         let metrics = Metrics::from_outcomes(wl, &outcomes);
+        qpredict_obs::counter_add("sim.violations", violations.len() as u64);
         Ok(GuardedRun {
             result: SimResult { outcomes, metrics },
             violations,
@@ -314,7 +315,9 @@ impl<'w> Simulation<'w> {
         hooks: &mut dyn SimHooks,
         budget: Option<u64>,
     ) -> Result<(), SimError> {
+        let _run_span = qpredict_obs::span("sim.run");
         let mut steps = 0u64;
+        let mut events_drained = 0u64;
         while let Some(&Reverse((t, _, _, _))) = self.events.peek() {
             if let Some(b) = budget {
                 steps += 1;
@@ -330,6 +333,7 @@ impl<'w> Simulation<'w> {
                     break;
                 }
                 self.events.pop();
+                events_drained += 1;
                 match kind {
                     KIND_FINISH => self.apply_finish(id, est, hooks),
                     _ => self.apply_submit(id, hooks),
@@ -337,6 +341,7 @@ impl<'w> Simulation<'w> {
             }
             self.schedule(est, hooks)?;
         }
+        qpredict_obs::counter_add("sim.events", events_drained);
         Ok(())
     }
 
@@ -374,6 +379,7 @@ impl<'w> Simulation<'w> {
         self.free_nodes += r.nodes;
         self.finishes[id.index()] = Some(self.now);
         self.finished += 1;
+        qpredict_obs::counter_add("sim.jobs_completed", 1);
         let job = self.wl.job(id);
         est.on_complete(job, self.now);
         hooks.on_job_complete(job, self.now);
@@ -395,6 +401,7 @@ impl<'w> Simulation<'w> {
         if self.queue.is_empty() {
             return Ok(());
         }
+        let _span = qpredict_obs::span("sim.schedule");
         if hooks.wants_schedule_snapshots() {
             let snap = self.snapshot();
             hooks.before_schedule(&snap);
@@ -438,13 +445,18 @@ impl<'w> Simulation<'w> {
                 pred_runtime: pred,
             });
         }
-        let start_idxs = schedule_pass(
+        let start_idxs = schedule_pass_reporting(
             self.alg,
             self.now,
             self.wl.machine_nodes,
             self.free_nodes,
             &running_views,
             &entries,
+            if self.guarded {
+                Some(&mut self.violations)
+            } else {
+                None
+            },
         );
         if start_idxs.is_empty() {
             return Ok(());
@@ -482,6 +494,7 @@ impl<'w> Simulation<'w> {
                 continue;
             }
             debug_assert!(job.nodes <= self.free_nodes, "scheduler oversubscribed");
+            qpredict_obs::counter_add("sim.jobs_started", 1);
             self.free_nodes -= job.nodes;
             self.running.push(RunningJob {
                 id,

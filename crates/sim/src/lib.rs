@@ -40,5 +40,5 @@ pub use fault::{FaultCounts, FaultPlan, FaultReport, FaultyEstimator};
 pub use metrics::{JobOutcome, Metrics};
 pub use profile::Profile;
 pub use qpredict_predict::CacheStats;
-pub use scheduler::{schedule_pass, Algorithm, QueueEntry, RunningView};
+pub use scheduler::{schedule_pass, schedule_pass_reporting, Algorithm, QueueEntry, RunningView};
 pub use timeline::{timeline_of, Timeline};

@@ -29,22 +29,57 @@ impl Profile {
     /// `running` lists `(nodes, predicted_end)` for each currently running
     /// job. Predicted ends at or before `now` are treated as `now + 1 s`
     /// (the job is demonstrably still running).
+    ///
+    /// An oversubscribed `running` set (more nodes in use than the
+    /// machine has) trips a debug assertion; release builds clamp and
+    /// continue. Guarded callers that must *observe* the violation
+    /// instead of asserting use [`Profile::new_reporting`].
     pub fn new(machine_nodes: u32, now: Time, running: &[(u32, Time)]) -> Profile {
+        Profile::new_reporting(machine_nodes, now, running, None)
+    }
+
+    /// Like [`Profile::new`], but when `violations` is provided an
+    /// oversubscribed `running` set is *reported* into it (the guarded
+    /// engine's invariant-violation channel) rather than debug-asserted:
+    /// fault injection and corrupt traces can legitimately hand the
+    /// backfill pass more running nodes than the machine has, and the
+    /// wrong free-node profile that results must be visible, not silent.
+    pub fn new_reporting(
+        machine_nodes: u32,
+        now: Time,
+        running: &[(u32, Time)],
+        violations: Option<&mut Vec<String>>,
+    ) -> Profile {
         let mut events: Vec<(Time, u32)> = running
             .iter()
             .map(|&(nodes, end)| (end.max(now + Dur::SECOND), nodes))
             .collect();
         events.sort_unstable_by_key(|&(t, _)| t);
         let used_now: u64 = running.iter().map(|&(n, _)| n as u64).sum();
-        debug_assert!(
-            used_now <= machine_nodes as u64,
-            "running jobs use {used_now} of {machine_nodes} nodes"
-        );
+        if used_now > machine_nodes as u64 {
+            match violations {
+                Some(v) => {
+                    qpredict_obs::counter_add("sim.profile_oversubscribed", 1);
+                    v.push(format!(
+                        "profile oversubscribed at t={}: running jobs use {used_now} of \
+                         {machine_nodes} nodes; free-node profile clamped to zero",
+                        now.seconds()
+                    ));
+                }
+                None => debug_assert!(
+                    false,
+                    "running jobs use {used_now} of {machine_nodes} nodes"
+                ),
+            }
+        }
         let mut segments = Vec::with_capacity(events.len() + 1);
-        let mut free = machine_nodes.saturating_sub(used_now as u32);
+        let mut free = machine_nodes.saturating_sub(used_now.min(u32::MAX as u64) as u32);
         segments.push(Segment { start: now, free });
         for (t, nodes) in events {
-            free += nodes;
+            // The `min` only matters after an oversubscribed (clamped)
+            // start: completions then release more nodes than the
+            // machine has, and the profile must not promise them.
+            free = free.saturating_add(nodes).min(machine_nodes);
             match segments.last_mut() {
                 Some(s) if s.start == t => s.free = free,
                 _ => segments.push(Segment { start: t, free }),
@@ -272,6 +307,31 @@ mod tests {
     #[should_panic(expected = "exceeds machine")]
     fn oversized_request_panics() {
         Profile::new(10, t(0), &[]).earliest_fit(11, Dur(1));
+    }
+
+    #[test]
+    fn oversubscription_is_reported_not_hidden() {
+        // 12 running nodes on a 10-node machine: the reporting
+        // constructor must surface the violation and build a profile
+        // that promises nothing until jobs end — and never more than
+        // the machine.
+        let mut violations = Vec::new();
+        let p = Profile::new_reporting(10, t(0), &[(8, t(100)), (4, t(50))], Some(&mut violations));
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("oversubscribed"), "{violations:?}");
+        assert!(violations[0].contains("12 of 10"), "{violations:?}");
+        assert_eq!(p.free_at(t(0)), 0);
+        assert_eq!(p.free_at(t(50)), 4);
+        assert_eq!(p.free_at(t(100)), 10, "free capped at machine size");
+        p.check().unwrap();
+    }
+
+    #[test]
+    fn healthy_profile_reports_nothing() {
+        let mut violations = Vec::new();
+        let p = Profile::new_reporting(10, t(0), &[(4, t(100))], Some(&mut violations));
+        assert!(violations.is_empty());
+        assert_eq!(p.free_at(t(0)), 6);
     }
 
     #[test]

@@ -126,9 +126,27 @@ pub fn schedule_pass(
     running: &[RunningView],
     queue: &[QueueEntry],
 ) -> Vec<usize> {
+    schedule_pass_reporting(alg, now, machine_nodes, free_nodes, running, queue, None)
+}
+
+/// [`schedule_pass`] with an invariant-violation sink: when `violations`
+/// is provided, an oversubscribed running set (possible under fault
+/// injection or a corrupt trace) is reported through it instead of
+/// tripping a debug assertion — the guarded engine threads its
+/// violation log here so a silently-wrong backfill profile cannot hide.
+pub fn schedule_pass_reporting(
+    alg: Algorithm,
+    now: Time,
+    machine_nodes: u32,
+    free_nodes: u32,
+    running: &[RunningView],
+    queue: &[QueueEntry],
+    violations: Option<&mut Vec<String>>,
+) -> Vec<usize> {
     debug_assert!(
-        running.iter().map(|r| r.nodes as u64).sum::<u64>() + free_nodes as u64
-            == machine_nodes as u64,
+        violations.is_some()
+            || running.iter().map(|r| r.nodes as u64).sum::<u64>() + free_nodes as u64
+                == machine_nodes as u64,
         "free-node accounting is inconsistent"
     );
     match alg {
@@ -150,10 +168,24 @@ pub fn schedule_pass(
             },
             false,
         ),
-        Algorithm::Backfill => backfill_pass(now, machine_nodes, free_nodes, running, queue, false),
-        Algorithm::EasyBackfill => {
-            backfill_pass(now, machine_nodes, free_nodes, running, queue, true)
-        }
+        Algorithm::Backfill => backfill_pass(
+            now,
+            machine_nodes,
+            free_nodes,
+            running,
+            queue,
+            false,
+            violations,
+        ),
+        Algorithm::EasyBackfill => backfill_pass(
+            now,
+            machine_nodes,
+            free_nodes,
+            running,
+            queue,
+            true,
+            violations,
+        ),
     }
 }
 
@@ -196,6 +228,7 @@ fn in_order_pass(
 /// With `easy` set, only the first blocked job receives a reservation
 /// (EASY semantics); otherwise every blocked job does (conservative, the
 /// paper's flavour).
+#[allow(clippy::too_many_arguments)]
 fn backfill_pass(
     now: Time,
     machine_nodes: u32,
@@ -203,10 +236,11 @@ fn backfill_pass(
     running: &[RunningView],
     queue: &[QueueEntry],
     easy: bool,
+    violations: Option<&mut Vec<String>>,
 ) -> Vec<usize> {
     let _ = free_nodes; // implied by `running`; the profile recomputes it
     let running_pairs: Vec<(u32, Time)> = running.iter().map(|r| (r.nodes, r.pred_end)).collect();
-    let mut profile = Profile::new(machine_nodes, now, &running_pairs);
+    let mut profile = Profile::new_reporting(machine_nodes, now, &running_pairs, violations);
 
     let mut order: Vec<usize> = (0..queue.len()).collect();
     order.sort_by_key(|&i| queue[i].seq);
@@ -290,6 +324,31 @@ mod tests {
             nodes,
             pred_end: Time(end),
         }
+    }
+
+    #[test]
+    fn oversubscribed_running_set_is_reported_not_asserted() {
+        // Fault injection: a corrupted snapshot claims 12 running nodes
+        // on an 8-node machine. With a violation sink the pass must
+        // survive (no debug_assert) and report the oversubscription
+        // through the profile's guarded path.
+        let queue = [qe(0, 2, 100)];
+        let running = [rv(8, 100), rv(4, 150)];
+        let mut violations = Vec::new();
+        let starts = schedule_pass_reporting(
+            Algorithm::Backfill,
+            Time(0),
+            8,
+            0,
+            &running,
+            &queue,
+            Some(&mut violations),
+        );
+        assert!(starts.is_empty(), "no free nodes, nothing may start");
+        assert!(
+            violations.iter().any(|v| v.contains("oversubscribed")),
+            "oversubscription must be reported: {violations:?}"
+        );
     }
 
     #[test]

@@ -91,10 +91,15 @@ impl Dur {
     }
 
     /// Construct from fractional seconds, rounding to the nearest second.
-    /// Values are clamped into the representable range.
+    /// Values are clamped into the representable range; NaN maps to
+    /// [`Dur::ZERO`] explicitly (it previously fell through the
+    /// comparisons to an `as` cast, which *happens* to saturate to zero
+    /// — now it's a contract rather than a cast artifact).
     #[inline]
     pub fn from_secs_f64(s: f64) -> Dur {
-        if s >= i64::MAX as f64 {
+        if s.is_nan() {
+            Dur::ZERO
+        } else if s >= i64::MAX as f64 {
             Dur::MAX
         } else if s <= i64::MIN as f64 {
             Dur(i64::MIN)
@@ -285,6 +290,8 @@ mod tests {
         assert_eq!(Dur::from_secs_f64(1.4), Dur(1));
         assert_eq!(Dur::from_secs_f64(1.6), Dur(2));
         assert_eq!(Dur::from_secs_f64(f64::INFINITY), Dur::MAX);
+        assert_eq!(Dur::from_secs_f64(f64::NEG_INFINITY), Dur(i64::MIN));
+        assert_eq!(Dur::from_secs_f64(f64::NAN), Dur::ZERO);
         assert_eq!(Dur::from_secs_f64(-2.5), Dur(-3)); // .round() is half-away-from-zero
     }
 

@@ -19,9 +19,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Run-report smoke: an instrumented run must emit a report that the
+# binary's own schema checker accepts (non-empty spans and counters).
+echo "==> report schema smoke (simulate --report-out + check-report)"
+REPORT_TMP="$(mktemp -d)"
+trap 'rm -rf "$REPORT_TMP"' EXIT
+./target/release/qpredict simulate toy --jobs 150 --nodes 32 \
+    --report-out "$REPORT_TMP/report.json"
+./target/release/qpredict check-report "$REPORT_TMP/report.json"
+
 # One-iteration smoke run of every bench: catches panics, broken
 # assertions, and artifact-emission bugs in the bench binaries without
-# paying for real measurements.
+# paying for real measurements. The estimation bench also asserts the
+# recording-off observability overhead stays under 2% per prediction.
 echo "==> QPREDICT_BENCH_SMOKE=1 cargo bench -q -p qpredict-bench"
 QPREDICT_BENCH_SMOKE=1 cargo bench -q -p qpredict-bench
 

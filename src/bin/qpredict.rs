@@ -32,6 +32,8 @@ use qpredict::core::{
     run_scheduling_with, run_template_search, run_wait_prediction, PredictorKind,
     TemplateSearchSpec,
 };
+use qpredict::obs::json::Json;
+use qpredict::obs::report::RunReport;
 use qpredict::prelude::*;
 use qpredict::search::{CheckpointPolicy, GaConfig, InjectedPanic, SearchError, SupervisorConfig};
 use qpredict::sim::{timeline_of, ActualEstimator, FaultPlan};
@@ -55,6 +57,7 @@ struct Opts {
     resume: bool,
     max_retries: Option<u32>,
     eval_budget: Option<u64>,
+    report_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -64,7 +67,8 @@ fn usage() -> ! {
          [--predictor actual|maxrt|smith|gibbons|downey-avg|downey-med|fallback] \
          [--ingest strict|lenient] [--fault-seed N] [--fault-pred-noise P] [--out FILE] \
          [--generations N] [--population N] [--seed N] [--checkpoint-dir DIR] [--resume] \
-         [--max-retries N] [--eval-budget N] [--fault-eval P]"
+         [--max-retries N] [--eval-budget N] [--fault-eval P] [--report-out FILE|-]\n\
+         \x20      qpredict check-report <report.json>"
     );
     exit(2)
 }
@@ -93,7 +97,7 @@ where
     })
 }
 
-fn parse_opts() -> Opts {
+fn parse_opts(args: &[String]) -> Opts {
     let mut o = Opts {
         positional: Vec::new(),
         nodes: 128,
@@ -112,8 +116,9 @@ fn parse_opts() -> Opts {
         resume: false,
         max_retries: None,
         eval_budget: None,
+        report_out: None,
     };
-    let mut it = std::env::args().skip(1);
+    let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--nodes" => o.nodes = parse_value(&mut it, "--nodes", "a node count"),
@@ -188,6 +193,7 @@ fn parse_opts() -> Opts {
                 o.eval_budget = Some(parse_value(&mut it, "--eval-budget", "a step count"))
             }
             "--out" => o.out = Some(flag_value(&mut it, "--out")),
+            "--report-out" => o.report_out = Some(flag_value(&mut it, "--report-out")),
             "--help" | "-h" => usage(),
             other if other.starts_with('-') => {
                 flag_error(format!("unknown flag {other:?} (see --help)"))
@@ -266,14 +272,56 @@ fn emit_stdout(text: &str) {
     let _ = lock.flush();
 }
 
+/// Validate a run report written by `--report-out`; exits 1 on a
+/// malformed or inactive report.
+fn check_report(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    let report = Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("qpredict: {path} is not JSON: {e}");
+        exit(1)
+    });
+    if let Err(e) = qpredict::obs::report::validate(&report, true) {
+        eprintln!("qpredict: invalid report {path}: {e}");
+        exit(1)
+    }
+    let count = |key: &str| {
+        report
+            .get(key)
+            .and_then(Json::as_arr)
+            .map(|a| a.len())
+            .unwrap_or(0)
+    };
+    println!(
+        "report ok: {} spans, {} counters",
+        count("spans"),
+        count("counters")
+    );
+}
+
 fn main() {
-    let opts = parse_opts();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_opts(&argv);
     let cmd = opts.positional[0].as_str();
     let source = opts.positional[1].as_str();
+
+    if cmd == "check-report" {
+        check_report(source);
+        return;
+    }
+    if opts.report_out.is_some() {
+        qpredict::obs::set_recording(true);
+        qpredict::obs::reset();
+    }
+    let mut report_metrics: Vec<(String, Json)> = Vec::new();
+    let mut metric = |key: &str, v: f64| report_metrics.push((key.to_string(), Json::Num(v)));
 
     match cmd {
         "generate" => {
             let wl = load(source, &opts);
+            metric("n_jobs", wl.len() as f64);
             let text = swf::write(&wl);
             match &opts.out {
                 Some(path) => {
@@ -288,6 +336,7 @@ fn main() {
         }
         "analyze" => {
             let wl = load(source, &opts);
+            metric("n_jobs", wl.len() as f64);
             println!("=== {} ===", wl.name);
             println!("{}\n", WorkloadStats::of(&wl));
             println!("{}", analysis::analyze(&wl));
@@ -296,6 +345,14 @@ fn main() {
             let wl = load(source, &opts);
             let plan = fault_plan(&opts);
             let out = run_scheduling_with(&wl, opts.alg, opts.predictor.clone(), plan.as_ref());
+            metric("n_jobs", out.metrics.n_jobs as f64);
+            metric("utilization_window", out.metrics.utilization_window);
+            metric("mean_wait_min", out.metrics.mean_wait.minutes());
+            metric("median_wait_min", out.metrics.median_wait.minutes());
+            metric("mean_bounded_slowdown", out.metrics.mean_bounded_slowdown);
+            if out.runtime_errors.count() > 0 {
+                metric("runtime_mae_min", out.runtime_errors.mean_abs_error_min());
+            }
             println!(
                 "{} jobs under {} + {}:",
                 out.metrics.n_jobs,
@@ -353,6 +410,9 @@ fn main() {
         "waitpred" => {
             let wl = load(source, &opts);
             let out = run_wait_prediction(&wl, opts.alg, opts.predictor.clone());
+            metric("n_jobs", wl.len() as f64);
+            metric("wait_mae_min", out.wait_errors.mean_abs_error_min());
+            metric("runtime_mae_min", out.runtime_errors.mean_abs_error_min());
             println!(
                 "wait-time prediction on {} under {} + {}:",
                 wl.name,
@@ -374,6 +434,7 @@ fn main() {
         "gantt" => {
             let wl = load(source, &opts);
             let (timeline, result) = timeline_of(&wl, opts.alg, &mut ActualEstimator);
+            metric("n_jobs", result.outcomes.len() as f64);
             let csv = timeline.jobs_csv();
             match &opts.out {
                 Some(path) => {
@@ -445,6 +506,9 @@ fn main() {
                     exit(1)
                 }
             });
+            metric("best_error_min", out.best_error_min);
+            metric("evaluations", out.evaluations as f64);
+            metric("generations", spec.ga.generations as f64);
             println!(
                 "template search on {} under {} ({} generations x {} individuals):",
                 out.workload,
@@ -474,5 +538,24 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+
+    if let Some(dest) = &opts.report_out {
+        let mut report = RunReport::new(cmd, &argv);
+        for (k, v) in report_metrics {
+            report.metric(&k, v);
+        }
+        let text = report.to_json(&qpredict::obs::snapshot()).to_pretty();
+        qpredict::obs::set_recording(false);
+        if dest == "-" {
+            emit_stdout(&text);
+        } else {
+            let path = std::path::Path::new(dest);
+            qpredict::obs::report::write_atomic(path, &text).unwrap_or_else(|e| {
+                eprintln!("cannot write report {dest}: {e}");
+                exit(1)
+            });
+            eprintln!("run report written to {dest}");
+        }
     }
 }

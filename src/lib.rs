@@ -46,6 +46,7 @@
 //! ```
 
 pub use qpredict_core as core;
+pub use qpredict_obs as obs;
 pub use qpredict_predict as predict;
 pub use qpredict_search as search;
 pub use qpredict_sim as sim;

@@ -179,6 +179,49 @@ fn scheduling_outputs_are_bit_identical_to_pre_refactor() {
     }
 }
 
+/// The observability layer must be a pure observer: with recording ON,
+/// every locked cell still matches the pre-refactor capture bit for bit.
+/// (Recording only touches a thread-local registry, so this runs the
+/// full lock tables rather than sampling.)
+#[test]
+fn recording_does_not_perturb_locked_outputs() {
+    qpredict_obs::set_recording(true);
+    let wl = toy(300, 32, 41);
+    for (alg, kind, metrics_fp, rt_fp) in SCHEDULING_LOCK {
+        let out = run_scheduling(&wl, alg_for(alg), kind_for(kind));
+        assert_eq!(
+            fp_metrics(&out.metrics),
+            metrics_fp,
+            "{alg} + {kind}: recording perturbed schedule metrics"
+        );
+        assert_eq!(
+            fp_stats(&out.runtime_errors),
+            rt_fp,
+            "{alg} + {kind}: recording perturbed runtime-error stats"
+        );
+    }
+    let wl = toy(220, 32, 42);
+    for (alg, kind, metrics_fp, wait_fp, rt_fp) in WAITTIME_LOCK {
+        let out = run_wait_prediction(&wl, alg_for(alg), kind_for(kind));
+        assert_eq!(
+            fp_metrics(&out.metrics),
+            metrics_fp,
+            "{alg} + {kind}: recording perturbed outer-schedule metrics"
+        );
+        assert_eq!(
+            fp_stats(&out.wait_errors),
+            wait_fp,
+            "{alg} + {kind}: recording perturbed wait-error stats"
+        );
+        assert_eq!(
+            fp_stats(&out.runtime_errors),
+            rt_fp,
+            "{alg} + {kind}: recording perturbed runtime-error stats"
+        );
+    }
+    qpredict_obs::set_recording(false);
+}
+
 #[test]
 fn wait_prediction_outputs_are_bit_identical_to_pre_refactor() {
     let wl = toy(220, 32, 42);

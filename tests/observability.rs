@@ -1,0 +1,125 @@
+//! Integration tests for the observability layer: spans and counters
+//! flow from instrumented library code into the thread-local registry,
+//! recording is inert when off, and a full run report round-trips
+//! through the JSON writer/parser and schema validator.
+//!
+//! The recording flag is process-global while the registry is
+//! thread-local, so every test here serializes on one mutex and leaves
+//! the flag off when done.
+
+use std::sync::Mutex;
+
+use qpredict::core::{run_scheduling, PredictorKind};
+use qpredict::obs::{self, json::Json, report};
+use qpredict::sim::Algorithm;
+use qpredict::workload::synthetic::toy;
+
+static FLAG: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    FLAG.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A scheduling run populates the seams the tentpole names: sim spans,
+/// predictor spans, and cache counters, all nested under the
+/// run-scheduling root span.
+#[test]
+fn scheduling_run_populates_spans_and_counters() {
+    let _guard = locked();
+    obs::set_recording(true);
+    obs::reset();
+    let wl = toy(60, 16, 5);
+    let out = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
+    obs::set_recording(false);
+    let snap = obs::snapshot();
+    obs::reset();
+
+    let root = snap.span("run.scheduling").expect("root span recorded");
+    assert_eq!(root.count, 1);
+    let sim = snap
+        .span("run.scheduling/sim.run")
+        .expect("nested sim span");
+    assert_eq!(sim.count, 1);
+    assert!(sim.total_ns <= root.total_ns, "child cannot exceed parent");
+    assert!(
+        snap.span("run.scheduling/sim.run/sim.schedule/smith.predict")
+            .is_some(),
+        "predictor span nests under the schedule pass: {:?}",
+        snap.spans.iter().map(|(l, _)| l).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        snap.counter("sim.jobs_started"),
+        wl.len() as u64,
+        "every job starts exactly once"
+    );
+    assert_eq!(snap.counter("sim.jobs_completed"), wl.len() as u64);
+    let hits = snap.counter("cache.hits");
+    let misses = snap.counter("cache.misses");
+    assert!(misses > 0, "cold cache must miss at least once");
+    assert!(
+        hits + misses >= out.runtime_errors.count(),
+        "every scored prediction went through the cache \
+         (hits {hits} + misses {misses} < scored {})",
+        out.runtime_errors.count()
+    );
+}
+
+/// With recording off (the default), instrumented runs leave the
+/// registry completely empty.
+#[test]
+fn recording_off_is_inert() {
+    let _guard = locked();
+    obs::set_recording(false);
+    obs::reset();
+    let wl = toy(40, 16, 6);
+    let _ = run_scheduling(&wl, Algorithm::Lwf, PredictorKind::Gibbons);
+    let snap = obs::snapshot();
+    assert!(snap.spans.is_empty(), "spans leaked: {:?}", snap.spans);
+    assert!(
+        snap.counters.is_empty(),
+        "counters leaked: {:?}",
+        snap.counters
+    );
+}
+
+/// The full report pipeline: record a run, build the report, serialize,
+/// re-parse, and validate against the version-1 schema.
+#[test]
+fn run_report_round_trips_through_schema_validation() {
+    let _guard = locked();
+    obs::set_recording(true);
+    obs::reset();
+    let wl = toy(50, 16, 7);
+    let out = run_scheduling(&wl, Algorithm::Backfill, PredictorKind::Smith);
+    obs::set_recording(false);
+    let snap = obs::snapshot();
+    obs::reset();
+
+    let args: Vec<String> = ["simulate", "toy", "--jobs", "50", "--nodes", "16"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rep = report::RunReport::new("simulate", &args);
+    rep.metric("n_jobs", Json::Num(out.metrics.n_jobs as f64));
+    rep.metric("mean_wait_min", Json::Num(out.metrics.mean_wait.minutes()));
+    let json = rep.to_json(&snap);
+    let text = json.to_pretty();
+    let parsed = Json::parse(&text).expect("report text parses back");
+    assert_eq!(parsed, json, "serialize/parse must be lossless");
+    report::validate(&parsed, true).expect("schema-valid with activity");
+    assert_eq!(
+        parsed
+            .get("config")
+            .and_then(|c| c.get("fingerprint"))
+            .and_then(Json::as_str)
+            .map(str::len),
+        Some(16)
+    );
+    let spans = parsed.get("spans").and_then(Json::as_arr).unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("label").and_then(Json::as_str) == Some("run.scheduling")),
+        "root span present in serialized report"
+    );
+}

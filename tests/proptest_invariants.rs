@@ -196,6 +196,101 @@ fn predictions_respect_elapsed() {
     }
 }
 
+/// Whatever the history — even degenerate one-second runtimes that pull
+/// every fitted estimate toward zero — a clamped prediction never
+/// rounds below one second.
+#[test]
+fn predictions_never_round_below_one_second() {
+    use qpredict::predict::RunTimePredictor;
+    for seed in 0u64..40 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let mut tiny = synthetic::toy(40, 16, seed);
+        for j in &mut tiny.jobs {
+            j.runtime = Dur(1);
+        }
+        for kind in PredictorKind::ALL {
+            let mut p = kind.build(&tiny);
+            for j in tiny.jobs.iter().take(10 + rng.gen_index(30)) {
+                RunTimePredictor::on_complete(&mut p, j);
+            }
+            let pred = p.predict(&tiny.jobs[39], Dur::ZERO);
+            assert!(
+                pred.estimate >= Dur(1),
+                "{}: estimate {:?} fell below the one-second floor (seed {seed})",
+                kind.name(),
+                pred.estimate
+            );
+        }
+    }
+}
+
+/// Profile vs brute force: `free_at` and `earliest_fit` agree with a
+/// naive per-second free-node array on random running sets, with random
+/// reservations applied to both as the exercise proceeds.
+#[test]
+fn profile_matches_per_second_oracle() {
+    const HORIZON: i64 = 4_000;
+    for seed in 0u64..40 {
+        let mut rng = Rng64::seed_from_u64(seed);
+        let machine = 1 + rng.gen_index(31) as u32;
+        let now = rng.gen_range_i64(0, 99);
+        let mut acc = 0u32;
+        let running: Vec<(u32, Time)> = (0..rng.gen_index(6))
+            .filter_map(|_| {
+                let n = 1 + rng.gen_index(machine as usize) as u32;
+                let end = now + rng.gen_range_i64(1, 399);
+                if acc + n <= machine {
+                    acc += n;
+                    Some((n, Time(end)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut p = Profile::new(machine, Time(now), &running);
+        // The oracle: free nodes for every second of [now, now+HORIZON);
+        // everything is free past the horizon.
+        let mut free = vec![machine; HORIZON as usize];
+        for &(n, end) in &running {
+            for t in now..end.0.min(now + HORIZON) {
+                free[(t - now) as usize] -= n;
+            }
+        }
+        let free_at = |free: &[u32], t: i64| -> u32 {
+            if t >= now + HORIZON {
+                machine
+            } else {
+                free[(t - now) as usize]
+            }
+        };
+        for _ in 0..(1 + rng.gen_index(8)) {
+            for t in now..(now + 1000) {
+                assert_eq!(
+                    p.free_at(Time(t)),
+                    free_at(&free, t),
+                    "seed {seed}: free_at({t}) disagrees with per-second scan"
+                );
+            }
+            let nodes = 1 + rng.gen_index(machine as usize) as u32;
+            let d = Dur(rng.gen_range_i64(1, 199));
+            let at = p.earliest_fit(nodes, d);
+            let mut want = now;
+            while let Some(busy) = (want..want + d.0).find(|&t| free_at(&free, t) < nodes) {
+                want = busy + 1;
+            }
+            assert_eq!(
+                at.0, want,
+                "seed {seed}: earliest_fit({nodes}, {d:?}) disagrees with first-window scan"
+            );
+            p.reserve(at, d, nodes);
+            assert!(p.check().is_ok(), "seed {seed}");
+            for t in at.0..(at.0 + d.0).min(now + HORIZON) {
+                free[(t - now) as usize] -= nodes;
+            }
+        }
+    }
+}
+
 /// Forecast monotonicity: a target behind a *longer-believed* queue
 /// never starts earlier under FCFS.
 #[test]
