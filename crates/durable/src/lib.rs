@@ -1,0 +1,317 @@
+#![warn(missing_docs)]
+
+//! Shared durable-file codec: checksummed text frames written atomically.
+//!
+//! Extracted from `search::checkpoint` (PR 2) so the GA checkpoints and
+//! the serve WAL/snapshots share one implementation of the three
+//! load-bearing mechanisms:
+//!
+//! * **Checksum framing** — a file body is "sealed" by appending a
+//!   trailing `sum <FNV-1a 64 hex>` line covering every byte above it
+//!   ([`seal`]); [`check_frame`] verifies the checksum *before* any
+//!   field is interpreted and returns the body, so a truncated or
+//!   bit-flipped file is rejected with a typed [`FrameError`], never a
+//!   panic or silent garbage.
+//! * **Atomic replace** — [`write_atomic`] serializes to a sibling
+//!   temporary file, fsyncs, then renames into place: a kill at any
+//!   instant leaves either the old or the new file intact, never a torn
+//!   one.
+//! * **Bit-exact floats** — [`f64_hex`]/[`parse_f64_hex`] encode `f64`s
+//!   as the hex of their IEEE-754 bit patterns so decode∘encode is the
+//!   identity, including for NaN and ±∞.
+//!
+//! The byte format is unchanged from the original checkpoint codec —
+//! search checkpoints written before the extraction still load — and the
+//! FNV-1a constants match `qpredict_obs::fnv1a` and the estimation-lock
+//! fingerprints.
+
+use std::fmt;
+use std::path::Path;
+
+/// FNV-1a 64 offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Fold one byte into an FNV-1a 64 hash.
+#[inline]
+pub fn fnv1a_byte(hash: u64, byte: u8) -> u64 {
+    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// FNV-1a 64 over a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| fnv1a_byte(h, b))
+}
+
+/// A filesystem failure with the attempted operation spelled out, e.g.
+/// `"rename /dir/x.tmp -> /dir/x"`. The caller wraps it into its own
+/// error type; `op` keeps the path and verb out of every call site.
+#[derive(Debug)]
+pub struct IoOpError {
+    /// What was being attempted.
+    pub op: String,
+    /// The underlying error.
+    pub source: std::io::Error,
+}
+
+impl fmt::Display for IoOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.op, self.source)
+    }
+}
+
+impl std::error::Error for IoOpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Why a checksummed frame failed verification.
+#[derive(Debug)]
+pub enum FrameError {
+    /// No trailing `sum ` line at all — the file was truncated before
+    /// the seal, or is not a sealed file. `lines` is the 1-based count
+    /// of lines actually present (for error messages).
+    MissingChecksum {
+        /// 1-based line count of the text as read.
+        lines: usize,
+    },
+    /// A `sum ` line exists but its value is not parseable hex.
+    UnreadableChecksum {
+        /// 1-based line count of the text as read.
+        lines: usize,
+    },
+    /// The recorded checksum does not match the body as read: the file
+    /// was truncated or corrupted between the header and the seal.
+    Mismatch {
+        /// Checksum recorded in the file.
+        stored: u64,
+        /// Checksum of the body as read.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::MissingChecksum { lines } => {
+                write!(f, "missing trailing checksum line after {lines} line(s)")
+            }
+            FrameError::UnreadableChecksum { lines } => {
+                write!(f, "unreadable checksum line at line {lines}")
+            }
+            FrameError::Mismatch { stored, computed } => write!(
+                f,
+                "checksum {computed:016X} != recorded {stored:016X} \
+                 (truncated or bit-flipped file)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Append the trailing `sum <hex>` line covering every byte of `body`
+/// (which must end with a newline, as line-oriented encoders produce).
+pub fn seal(mut body: String) -> String {
+    use std::fmt::Write as _;
+    let sum = fnv1a(body.as_bytes());
+    let _ = writeln!(body, "sum {sum:016X}");
+    body
+}
+
+/// Verify the trailing checksum of a sealed frame and return the body
+/// (checksum line stripped, trailing newline kept — exactly the bytes
+/// that were hashed). Nothing in the body is interpreted.
+pub fn check_frame(text: &str) -> Result<&str, FrameError> {
+    let lines = || text.lines().count().max(1);
+    let body_end = match text.rfind("\nsum ") {
+        Some(i) => i + 1, // keep the newline in the checksummed body
+        None => return Err(FrameError::MissingChecksum { lines: lines() }),
+    };
+    let (body, sum_line) = text.split_at(body_end);
+    let stored = sum_line
+        .trim_end()
+        .strip_prefix("sum ")
+        .and_then(|h| u64::from_str_radix(h, 16).ok())
+        .ok_or(FrameError::UnreadableChecksum { lines: lines() })?;
+    let computed = fnv1a(body.as_bytes());
+    if stored != computed {
+        return Err(FrameError::Mismatch { stored, computed });
+    }
+    Ok(body)
+}
+
+/// Write `text` to `path` atomically: create the parent directory if
+/// needed, serialize to a sibling temp file (`path` with its extension
+/// replaced by `tmp_extension`), fsync, then rename over `path`.
+pub fn write_atomic(path: &Path, text: &str, tmp_extension: &str) -> Result<(), IoOpError> {
+    let io_err = |op: String| move |source: std::io::Error| IoOpError { op, source };
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(io_err(format!("create {}", dir.display())))?;
+        }
+    }
+    let tmp = path.with_extension(tmp_extension);
+    {
+        use std::io::Write as _;
+        let mut f =
+            std::fs::File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
+        f.write_all(text.as_bytes())
+            .map_err(io_err(format!("write {}", tmp.display())))?;
+        f.sync_all()
+            .map_err(io_err(format!("sync {}", tmp.display())))?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err(format!(
+        "rename {} -> {}",
+        tmp.display(),
+        path.display()
+    )))
+}
+
+/// Read `path` to a string, tagging failures with the operation.
+pub fn read_to_string(path: &Path) -> Result<String, IoOpError> {
+    std::fs::read_to_string(path).map_err(|source| IoOpError {
+        op: format!("read {}", path.display()),
+        source,
+    })
+}
+
+/// The hex of an `f64`'s IEEE-754 bit pattern (`{:016X}`), the
+/// workspace's bit-exact float encoding.
+pub fn f64_hex(x: f64) -> String {
+    format!("{:016X}", x.to_bits())
+}
+
+/// Parse a [`f64_hex`]-encoded float back, bit-exactly.
+pub fn parse_f64_hex(s: &str) -> Result<f64, String> {
+    parse_u64_hex(s).map(f64::from_bits)
+}
+
+/// Parse a `{:016X}`-style hex `u64`.
+pub fn parse_u64_hex(s: &str) -> Result<u64, String> {
+    u64::from_str_radix(s, 16).map_err(|e| format!("bad hex {s:?}: {e}"))
+}
+
+/// Split a record line of `key=value` words into the values, in the
+/// order given by `want`, rejecting missing, extra, or misnamed fields.
+pub fn parse_kv<'a>(rest: &'a str, want: &[&str]) -> Result<Vec<&'a str>, String> {
+    let mut out = Vec::with_capacity(want.len());
+    let words: Vec<&str> = rest.split_whitespace().collect();
+    if words.len() != want.len() {
+        return Err(format!(
+            "expected {} fields, found {}",
+            want.len(),
+            words.len()
+        ));
+    }
+    for (word, key) in words.iter().zip(want) {
+        let value = word
+            .strip_prefix(key)
+            .and_then(|v| v.strip_prefix('='))
+            .ok_or_else(|| format!("expected {key}=..., found {word:?}"))?;
+        out.push(value);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b""), FNV_OFFSET);
+    }
+
+    #[test]
+    fn seal_then_check_round_trips() {
+        let body = "magic v1\nkey value\n".to_string();
+        let sealed = seal(body.clone());
+        assert!(sealed.starts_with(&body));
+        assert!(sealed.ends_with('\n'));
+        assert_eq!(check_frame(&sealed).expect("verifies"), body);
+    }
+
+    #[test]
+    fn truncation_and_flips_are_detected() {
+        let sealed = seal("magic v1\na 1\nb 2\nc 3\n".to_string());
+        // Every truncation except "only the final newline removed"
+        // (which leaves an intact checksum line) must be rejected.
+        for cut in 1..sealed.len() - 1 {
+            assert!(check_frame(&sealed[..cut]).is_err(), "cut at {cut}");
+        }
+        // A bit flip anywhere must never yield a *different* body: either
+        // the frame is rejected, or only framing whitespace was hit and
+        // the body comes back byte-identical.
+        let original = check_frame(&sealed).unwrap().to_string();
+        for i in 0..sealed.len() {
+            let mut bytes = sealed.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let Ok(mutated) = String::from_utf8(bytes) else {
+                continue;
+            };
+            if let Ok(body) = check_frame(&mutated) {
+                assert_eq!(body, original, "flip at byte {i} corrupted the body");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_errors_are_typed() {
+        assert!(matches!(
+            check_frame("no seal here\n"),
+            Err(FrameError::MissingChecksum { .. })
+        ));
+        assert!(matches!(
+            check_frame("body\nsum not-hex\n"),
+            Err(FrameError::UnreadableChecksum { .. })
+        ));
+        assert!(matches!(
+            check_frame("body\nsum 0000000000000000\n"),
+            Err(FrameError::Mismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn write_atomic_leaves_no_temp_file() {
+        let dir = std::env::temp_dir().join("qpredict_durable_unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        write_atomic(&path, "hello\n", "snap.tmp").expect("write");
+        assert!(!path.with_extension("snap.tmp").exists());
+        assert_eq!(read_to_string(&path).expect("read"), "hello\n");
+        write_atomic(&path, "world\n", "snap.tmp").expect("overwrite");
+        assert_eq!(read_to_string(&path).expect("reread"), "world\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn read_missing_file_tags_the_operation() {
+        let err = read_to_string(Path::new("/nonexistent/qpredict/x.snap")).unwrap_err();
+        assert!(err.op.contains("read"), "{err}");
+        assert!(err.to_string().contains("x.snap"));
+    }
+
+    #[test]
+    fn f64_hex_is_bitwise_including_non_finite() {
+        for x in [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let back = parse_f64_hex(&f64_hex(x)).expect("parses");
+            assert_eq!(x.to_bits(), back.to_bits());
+        }
+        assert!(parse_f64_hex("zz").is_err());
+    }
+
+    #[test]
+    fn parse_kv_enforces_names_and_arity() {
+        assert_eq!(
+            parse_kv("a=1 b=two", &["a", "b"]).expect("parses"),
+            vec!["1", "two"]
+        );
+        assert!(parse_kv("a=1", &["a", "b"]).is_err());
+        assert!(parse_kv("a=1 c=2", &["a", "b"]).is_err());
+        assert!(parse_kv("a=1 b=2 extra=3", &["a", "b"]).is_err());
+    }
+}

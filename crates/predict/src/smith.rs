@@ -95,6 +95,13 @@ impl SmithPredictor {
         self.store.category_count()
     }
 
+    /// Completed data points resident across all categories. Bounded by
+    /// each template's `max_history`; the serve layer watches this to
+    /// verify memory stays capped under unbounded streams.
+    pub fn resident_points(&self) -> usize {
+        self.store.total_points()
+    }
+
     /// Scan-vs-moments accounting over every estimate so far.
     pub fn estimate_ops(&self) -> EstimateOps {
         self.ops
@@ -204,7 +211,103 @@ impl SmithPredictor {
             Dur::HOUR
         }
     }
+
+    /// Serialize the complete mutable state (aggregates bitwise, points,
+    /// counters, generation) as deterministic text. The template set is
+    /// *not* serialized — the restorer reconstructs it from its own
+    /// configuration — but its rendering is fingerprinted so a mismatch
+    /// is detected instead of silently mixing histories across sets.
+    pub fn encode_state(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::with_capacity(64 + self.store.category_count() * 160);
+        let _ = writeln!(s, "smith-state v1");
+        let _ = writeln!(s, "set fp={:016X}", set_fingerprint(&self.set));
+        let _ = writeln!(
+            s,
+            "global sum={:016X} n={} max={:016X} gen={}",
+            self.global_sum.to_bits(),
+            self.global_n,
+            self.max_seen.to_bits(),
+            self.generation
+        );
+        let o = self.ops;
+        let _ = writeln!(
+            s,
+            "ops scanned={} moment_pts={} moment_est={} scan_est={}",
+            o.scanned_points, o.moment_points, o.moment_estimates, o.scan_estimates
+        );
+        self.store.encode_state(&mut s);
+        s
+    }
+
+    /// Rebuild a predictor from [`encode_state`](Self::encode_state)
+    /// output and the template set the state was recorded under. The
+    /// result is state-identical to the original: every later prediction
+    /// is bit-identical.
+    pub fn decode_state(set: TemplateSet, text: &str) -> Result<SmithPredictor, String> {
+        let mut p = SmithPredictor::new(set);
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty smith state")?;
+        if magic != "smith-state v1" {
+            return Err(format!("not a smith state: {magic:?}"));
+        }
+        let mut saw_global = false;
+        for line in lines {
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match key {
+                "set" => {
+                    let v = parse_state_kv(rest, &["fp"])?;
+                    let fp = u64::from_str_radix(v[0], 16)
+                        .map_err(|e| format!("bad set fingerprint: {e}"))?;
+                    let have = set_fingerprint(&p.set);
+                    if fp != have {
+                        return Err(format!(
+                            "state was recorded under a different template set \
+                             ({fp:016X} != {have:016X})"
+                        ));
+                    }
+                }
+                "global" => {
+                    let v = parse_state_kv(rest, &["sum", "n", "max", "gen"])?;
+                    p.global_sum = f64::from_bits(
+                        u64::from_str_radix(v[0], 16).map_err(|e| format!("bad sum: {e}"))?,
+                    );
+                    p.global_n = v[1].parse().map_err(|e| format!("bad n: {e}"))?;
+                    p.max_seen = f64::from_bits(
+                        u64::from_str_radix(v[2], 16).map_err(|e| format!("bad max: {e}"))?,
+                    );
+                    p.generation = v[3].parse().map_err(|e| format!("bad gen: {e}"))?;
+                    saw_global = true;
+                }
+                "ops" => {
+                    let v =
+                        parse_state_kv(rest, &["scanned", "moment_pts", "moment_est", "scan_est"])?;
+                    let d = |s: &str| s.parse::<u64>().map_err(|e| format!("bad counter: {e}"));
+                    p.ops = EstimateOps {
+                        scanned_points: d(v[0])?,
+                        moment_points: d(v[1])?,
+                        moment_estimates: d(v[2])?,
+                        scan_estimates: d(v[3])?,
+                    };
+                }
+                "cat" => p.store.decode_state_line(rest)?,
+                other => return Err(format!("unknown smith state record {other:?}")),
+            }
+        }
+        if !saw_global {
+            return Err("smith state missing global record".into());
+        }
+        Ok(p)
+    }
 }
+
+/// FNV-1a 64 over a template set's canonical rendering — detects a
+/// restore against the wrong configuration.
+fn set_fingerprint(set: &TemplateSet) -> u64 {
+    qpredict_durable::fnv1a(set.to_string().as_bytes())
+}
+
+use qpredict_durable::parse_kv as parse_state_kv;
 
 impl RunTimePredictor for SmithPredictor {
     fn name(&self) -> &'static str {
@@ -477,6 +580,78 @@ mod tests {
         p.reset();
         assert_eq!(p.category_count(), 0);
         assert!(p.predict(&job(&mut syms, "alice", 1), Dur::ZERO).fallback);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_identical() {
+        let mut syms = SymbolTable::new();
+        let set = TemplateSet::new(vec![
+            Template::mean_over(&[Characteristic::User]).with_max_history(3),
+            Template::mean_over(&[]).with_estimator(EstimatorKind::LinearRegression),
+            Template::mean_over(&[Characteristic::User])
+                .relative()
+                .with_node_range(2),
+        ]);
+        let mut p = SmithPredictor::new(set.clone());
+        for i in 0..25i64 {
+            let u = syms.intern(if i % 3 == 0 { "alice" } else { "bob" });
+            let j = JobBuilder::new()
+                .with(Characteristic::User, u)
+                .nodes(1 + (i as u32 % 9))
+                .runtime(Dur(60 + i * 37))
+                .max_runtime(Dur(4000))
+                .build(JobId(i as u32));
+            p.on_complete(&j);
+            // Interleave predictions so ops counters are nonzero.
+            let _ = p.predict(&j, Dur::ZERO);
+        }
+        let state = p.encode_state();
+        let back = SmithPredictor::decode_state(set.clone(), &state).expect("decodes");
+        assert_eq!(back.encode_state(), state, "re-encode must be identical");
+        assert_eq!(back.generation(), p.generation());
+        assert_eq!(back.estimate_ops(), p.estimate_ops());
+        let mut back = back;
+        for i in 0..12i64 {
+            let u = syms.intern(if i % 2 == 0 { "alice" } else { "carol" });
+            let probe = JobBuilder::new()
+                .with(Characteristic::User, u)
+                .nodes(1 + (i as u32 % 12))
+                .max_runtime(Dur(4000))
+                .build(JobId(900 + i as u32));
+            let a = p.predict(&probe, Dur(i * 11));
+            let b = back.predict(&probe, Dur(i * 11));
+            assert_eq!(a, b, "probe {i}");
+            assert_eq!(a.estimate.0, b.estimate.0);
+            assert_eq!(a.ci_halfwidth.to_bits(), b.ci_halfwidth.to_bits());
+        }
+        // Learning after the restore stays in lockstep too.
+        let u = syms.intern("alice");
+        let j = JobBuilder::new()
+            .with(Characteristic::User, u)
+            .nodes(4)
+            .runtime(Dur(777))
+            .max_runtime(Dur(4000))
+            .build(JobId(999));
+        p.on_complete(&j);
+        back.on_complete(&j);
+        assert_eq!(p.encode_state(), back.encode_state());
+    }
+
+    #[test]
+    fn state_decode_rejects_wrong_set_and_corruption() {
+        let mut syms = SymbolTable::new();
+        let mut p = SmithPredictor::new(user_set());
+        p.on_complete(&job(&mut syms, "alice", 100));
+        let state = p.encode_state();
+        let other = TemplateSet::new(vec![Template::mean_over(&[])]);
+        assert!(SmithPredictor::decode_state(other, &state)
+            .unwrap_err()
+            .contains("different template set"));
+        assert!(SmithPredictor::decode_state(user_set(), "garbage\n").is_err());
+        assert!(SmithPredictor::decode_state(user_set(), "").is_err());
+        // A truncated cat line fails loudly, not silently.
+        let cut = state.rfind("cat").unwrap() + 10;
+        assert!(SmithPredictor::decode_state(user_set(), &state[..cut]).is_err());
     }
 
     #[test]

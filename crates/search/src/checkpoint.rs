@@ -28,10 +28,17 @@
 //! [`Checkpoint::save_atomic`] writes to a temporary file and renames it
 //! into place, so a kill mid-write leaves the previous checkpoint
 //! intact.
+//!
+//! The checksum framing, atomic replace, and bit-exact float encoding
+//! live in the shared [`qpredict_durable`] crate (extracted from this
+//! module so the serve WAL/snapshots reuse the same codec); this module
+//! keeps the GA-specific record schema and error taxonomy. The byte
+//! format is unchanged — pre-extraction checkpoints still load.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+use qpredict_durable::{check_frame, fnv1a_byte, parse_kv, seal, FrameError, FNV_OFFSET};
 use qpredict_workload::Rng64;
 
 use crate::encoding::{Chromosome, BITS_PER_TEMPLATE};
@@ -234,17 +241,6 @@ impl std::error::Error for CheckpointError {
     }
 }
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
-
-fn fnv1a_byte(hash: u64, byte: u8) -> u64 {
-    (hash ^ byte as u64).wrapping_mul(FNV_PRIME)
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    bytes.iter().fold(FNV_OFFSET, |h, &b| fnv1a_byte(h, b))
-}
-
 fn bits_to_string(bits: &[bool]) -> String {
     bits.iter().map(|&b| if b { '1' } else { '0' }).collect()
 }
@@ -304,42 +300,35 @@ impl Checkpoint {
         for c in &self.population {
             let _ = writeln!(s, "pop {}", bits_to_string(c));
         }
-        let _ = writeln!(s, "sum {:016X}", fnv1a(s.as_bytes()));
-        s
+        seal(s)
     }
 
     /// Parse and validate the text format. The checksum is verified
     /// before any field is interpreted.
     pub fn decode(text: &str) -> Result<Checkpoint, CheckpointError> {
-        let body_end = match text.rfind("\nsum ") {
-            Some(i) => i + 1, // keep the newline in the checksummed body
-            None => {
-                // No checksum line at all: distinguish "not a
-                // checkpoint" from "truncated checkpoint".
+        let body = check_frame(text).map_err(|e| match e {
+            // No checksum line at all: distinguish "not a checkpoint"
+            // from "truncated checkpoint".
+            FrameError::MissingChecksum { lines } => {
                 if !text.starts_with(CHECKPOINT_MAGIC) {
-                    return Err(CheckpointError::BadMagic {
+                    CheckpointError::BadMagic {
                         found: text.lines().next().unwrap_or("").chars().take(60).collect(),
-                    });
+                    }
+                } else {
+                    CheckpointError::Malformed {
+                        line: lines,
+                        reason: "missing trailing checksum line (truncated file?)".into(),
+                    }
                 }
-                return Err(CheckpointError::Malformed {
-                    line: text.lines().count().max(1),
-                    reason: "missing trailing checksum line (truncated file?)".into(),
-                });
             }
-        };
-        let (body, sum_line) = text.split_at(body_end);
-        let stored = sum_line
-            .trim_end()
-            .strip_prefix("sum ")
-            .and_then(|h| u64::from_str_radix(h, 16).ok())
-            .ok_or(CheckpointError::Malformed {
-                line: text.lines().count().max(1),
+            FrameError::UnreadableChecksum { lines } => CheckpointError::Malformed {
+                line: lines,
                 reason: "unreadable checksum line".into(),
-            })?;
-        let computed = fnv1a(body.as_bytes());
-        if stored != computed {
-            return Err(CheckpointError::ChecksumMismatch { stored, computed });
-        }
+            },
+            FrameError::Mismatch { stored, computed } => {
+                CheckpointError::ChecksumMismatch { stored, computed }
+            }
+        })?;
 
         let mut lines = body.lines().enumerate();
         let malformed = |line: usize, reason: String| CheckpointError::Malformed {
@@ -477,36 +466,19 @@ impl Checkpoint {
     pub fn save_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
         let _span = qpredict_obs::span("ga.checkpoint");
         qpredict_obs::counter_add("ga.checkpoints", 1);
-        let io_err = |op: String| move |source: std::io::Error| CheckpointError::Io { op, source };
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir)
-                    .map_err(io_err(format!("create {}", dir.display())))?;
+        qpredict_durable::write_atomic(path, &self.encode(), "ckpt.tmp").map_err(|e| {
+            CheckpointError::Io {
+                op: e.op,
+                source: e.source,
             }
-        }
-        let tmp = path.with_extension("ckpt.tmp");
-        let text = self.encode();
-        {
-            use std::io::Write as _;
-            let mut f =
-                std::fs::File::create(&tmp).map_err(io_err(format!("create {}", tmp.display())))?;
-            f.write_all(text.as_bytes())
-                .map_err(io_err(format!("write {}", tmp.display())))?;
-            f.sync_all()
-                .map_err(io_err(format!("sync {}", tmp.display())))?;
-        }
-        std::fs::rename(&tmp, path).map_err(io_err(format!(
-            "rename {} -> {}",
-            tmp.display(),
-            path.display()
-        )))
+        })
     }
 
     /// Read and decode `path`.
     pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
-        let text = std::fs::read_to_string(path).map_err(|source| CheckpointError::Io {
-            op: format!("read {}", path.display()),
-            source,
+        let text = qpredict_durable::read_to_string(path).map_err(|e| CheckpointError::Io {
+            op: e.op,
+            source: e.source,
         })?;
         Checkpoint::decode(&text)
     }
@@ -515,26 +487,6 @@ impl Checkpoint {
     pub fn rng(&self) -> Rng64 {
         Rng64::from_state(self.rng_state)
     }
-}
-
-fn parse_kv<'a>(rest: &'a str, want: &[&str]) -> Result<Vec<&'a str>, String> {
-    let mut out = Vec::with_capacity(want.len());
-    let words: Vec<&str> = rest.split_whitespace().collect();
-    if words.len() != want.len() {
-        return Err(format!(
-            "expected {} fields, found {}",
-            want.len(),
-            words.len()
-        ));
-    }
-    for (word, key) in words.iter().zip(want) {
-        let value = word
-            .strip_prefix(key)
-            .and_then(|v| v.strip_prefix('='))
-            .ok_or_else(|| format!("expected {key}=..., found {word:?}"))?;
-        out.push(value);
-    }
-    Ok(out)
 }
 
 fn parse_config(rest: &str) -> Result<ConfigFingerprint, String> {

@@ -26,7 +26,13 @@
 //! * [`supervisor`] — panic-isolated, budgeted, retrying fitness
 //!   evaluation with per-cause failure accounting ([`SearchHealth`]);
 //! * [`checkpoint`] — the versioned, checksummed on-disk snapshot format
-//!   that makes a killed search resumable bit-identically.
+//!   that makes a killed search resumable bit-identically. The generic
+//!   codec (checksum framing, atomic replace, bit-exact floats) lives in
+//!   the shared [`durable`] crate, re-exported here.
+
+/// The shared checksummed-atomic-write codec (see [`qpredict_durable`]),
+/// re-exported so search callers keep one import root.
+pub use qpredict_durable as durable;
 
 pub mod checkpoint;
 pub mod encoding;

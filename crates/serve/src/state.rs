@@ -1,0 +1,1098 @@
+//! The deterministic core of the service: pure state, no I/O.
+//!
+//! [`ServiceState`] consumes raw input lines (each tagged with its 1-based
+//! input sequence number) and produces numbered responses. Everything it
+//! does is a deterministic function of the line sequence, which is what
+//! makes the crash-recovery story work: replaying the same lines — from
+//! the write-ahead log or from the original input — reproduces the state
+//! and the responses bit for bit, including every floating-point
+//! aggregate inside the predictor.
+//!
+//! Disordered input is handled in three layers:
+//!
+//! * a bounded **reorder buffer** holds each event until `horizon` newer
+//!   events have arrived, then applies the pending minimum in canonical
+//!   [`JobEvent::sort_key`] order, so any permutation within the horizon
+//!   converges to one apply order;
+//! * a per-job **monotone state machine** (queued → running → done)
+//!   absorbs duplicates and impossible transitions as counted anomalies
+//!   rather than state corruption;
+//! * events older than the **watermark** (the newest applied timestamp)
+//!   are applied immediately as late backfill — a late completion still
+//!   reaches the predictor, whose generation bump precisely invalidates
+//!   the estimate cache.
+//!
+//! Memory is bounded everywhere: per-category predictor history by
+//! `max_history`, live jobs by `max_jobs` (drop-oldest load shedding),
+//! finished-job dedupe records by `max_done` (FIFO eviction), and the
+//! reorder buffer by `horizon`.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use qpredict_obs::counter_add;
+use qpredict_predict::{
+    CachingPredictor, DowneyPredictor, DowneyVariant, GibbonsPredictor, Prediction,
+    RunTimePredictor, SmithPredictor,
+};
+use qpredict_sim::profile::Profile;
+use qpredict_workload::{
+    Characteristic, Dur, EventKind, Job, JobBuilder, JobEvent, JobId, Sym, SymbolTable, Time,
+    CHARACTERISTICS,
+};
+
+use crate::config::{PredictorKind, ServeConfig};
+
+/// One answer produced by the service, numbered in emission order.
+///
+/// Ordinals are assigned in apply order, which is deterministic, so they
+/// serve as stable identities across crash and replay: recovery re-emits
+/// only responses whose ordinal exceeds the last one durably written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// 1-based emission number.
+    pub ordinal: u64,
+    /// The answer payload (everything after `resp <ordinal> `).
+    pub line: String,
+}
+
+/// Anomaly and throughput counters. All deterministic, all persisted in
+/// snapshots, and mirrored into [`qpredict_obs`] counters (`serve.*`) for
+/// `--report-out`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Events parsed successfully.
+    pub events: u64,
+    /// Input lines that failed to parse (counted, never fatal).
+    pub malformed: u64,
+    /// Duplicate lifecycle events (second submit of a known id, start of
+    /// a running job, finish of a done job, …).
+    pub duplicate: u64,
+    /// Events that arrived out of canonical order but inside the reorder
+    /// horizon, plus impossible-order transitions reconciled by the state
+    /// machine (finish before any start).
+    pub out_of_order: u64,
+    /// Events older than the watermark, applied as immediate backfill.
+    pub late: u64,
+    /// Lifecycle events for jobs the service has never seen (or already
+    /// evicted).
+    pub orphan: u64,
+    /// Live jobs dropped by overload shedding (`max_jobs`).
+    pub shed: u64,
+    /// Finished-job dedupe records evicted by the `max_done` FIFO.
+    pub evicted: u64,
+    /// Jobs whose completion reached the predictor.
+    pub completions: u64,
+    /// Jobs cancelled without a usable run time.
+    pub cancelled: u64,
+    /// Responses emitted (equals the last assigned ordinal).
+    pub responses: u64,
+}
+
+impl Counters {
+    fn encode(&self) -> String {
+        format!(
+            "counters ev={} mal={} dup={} ooo={} late={} orph={} shed={} \
+             evict={} done={} canc={} resp={}",
+            self.events,
+            self.malformed,
+            self.duplicate,
+            self.out_of_order,
+            self.late,
+            self.orphan,
+            self.shed,
+            self.evicted,
+            self.completions,
+            self.cancelled,
+            self.responses,
+        )
+    }
+
+    fn decode(rest: &str) -> Result<Counters, String> {
+        let fields = qpredict_durable::parse_kv(
+            rest,
+            &[
+                "ev", "mal", "dup", "ooo", "late", "orph", "shed", "evict", "done", "canc", "resp",
+            ],
+        )?;
+        let num = |i: usize| -> Result<u64, String> {
+            fields[i]
+                .parse::<u64>()
+                .map_err(|e| format!("bad counter: {e}"))
+        };
+        Ok(Counters {
+            events: num(0)?,
+            malformed: num(1)?,
+            duplicate: num(2)?,
+            out_of_order: num(3)?,
+            late: num(4)?,
+            orphan: num(5)?,
+            shed: num(6)?,
+            evicted: num(7)?,
+            completions: num(8)?,
+            cancelled: num(9)?,
+            responses: num(10)?,
+        })
+    }
+}
+
+/// Lifecycle phase of a tracked job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Queued,
+    Running { started: Time },
+    Done,
+}
+
+/// Everything the service remembers about one job. `Copy` on purpose:
+/// records are small and fixed-size, which is what keeps the job table's
+/// memory proportional to its entry caps.
+#[derive(Debug, Clone, Copy)]
+struct JobRecord {
+    internal: u32,
+    nodes: u32,
+    limit: Option<Dur>,
+    chars: [Option<Sym>; 8],
+    submit: Time,
+    phase: Phase,
+}
+
+impl JobRecord {
+    /// Materialise a [`Job`] for the predictor. `runtime` is the actual
+    /// run time for completions and a placeholder for predictions (no
+    /// predictor reads it on the predict path).
+    fn job(&self, runtime: Dur) -> Job {
+        let mut b = JobBuilder::new()
+            .nodes(self.nodes)
+            .submit(self.submit)
+            .runtime(runtime);
+        if let Some(l) = self.limit {
+            b = b.max_runtime(l);
+        }
+        for (i, s) in self.chars.iter().enumerate() {
+            b = b.with_opt(CHARACTERISTICS[i], *s);
+        }
+        b.build(JobId(self.internal))
+    }
+}
+
+/// The hosted predictor, behind one dispatch enum so the service can
+/// snapshot and restore whichever kind it runs.
+#[derive(Debug)]
+enum ServePredictor {
+    Smith(SmithPredictor),
+    Gibbons(GibbonsPredictor),
+    Downey(DowneyPredictor),
+}
+
+impl ServePredictor {
+    fn build(cfg: &ServeConfig) -> ServePredictor {
+        match cfg.predictor {
+            PredictorKind::Smith => ServePredictor::Smith(SmithPredictor::new(cfg.template_set())),
+            PredictorKind::Gibbons => ServePredictor::Gibbons(GibbonsPredictor::new()),
+            PredictorKind::DowneyAvg => ServePredictor::Downey(DowneyPredictor::new(
+                DowneyVariant::ConditionalAverage,
+                Some(Characteristic::User),
+            )),
+            PredictorKind::DowneyMed => ServePredictor::Downey(DowneyPredictor::new(
+                DowneyVariant::ConditionalMedian,
+                Some(Characteristic::User),
+            )),
+        }
+    }
+
+    fn encode_state(&self) -> String {
+        match self {
+            ServePredictor::Smith(p) => p.encode_state(),
+            ServePredictor::Gibbons(p) => p.encode_state(),
+            ServePredictor::Downey(p) => p.encode_state(),
+        }
+    }
+
+    fn decode_state(
+        cfg: &ServeConfig,
+        syms: &SymbolTable,
+        text: &str,
+    ) -> Result<ServePredictor, String> {
+        Ok(match cfg.predictor {
+            PredictorKind::Smith => {
+                ServePredictor::Smith(SmithPredictor::decode_state(cfg.template_set(), text)?)
+            }
+            PredictorKind::Gibbons => {
+                ServePredictor::Gibbons(GibbonsPredictor::decode_state(syms, text)?)
+            }
+            PredictorKind::DowneyAvg | PredictorKind::DowneyMed => {
+                ServePredictor::Downey(DowneyPredictor::decode_state(syms, text)?)
+            }
+        })
+    }
+
+    /// Completed data points held, for memory-bound checks. Smith reports
+    /// its category store; the baselines report their history vectors'
+    /// total length.
+    fn resident_points(&self) -> usize {
+        match self {
+            ServePredictor::Smith(p) => p.resident_points(),
+            // The baselines keep per-category runtime vectors; their
+            // encoded state is proportional to the resident points, which
+            // is good enough for diagnostics.
+            ServePredictor::Gibbons(_) | ServePredictor::Downey(_) => 0,
+        }
+    }
+}
+
+impl RunTimePredictor for ServePredictor {
+    fn name(&self) -> &'static str {
+        match self {
+            ServePredictor::Smith(p) => p.name(),
+            ServePredictor::Gibbons(p) => p.name(),
+            ServePredictor::Downey(p) => p.name(),
+        }
+    }
+
+    fn predict(&mut self, job: &Job, elapsed: Dur) -> Prediction {
+        match self {
+            ServePredictor::Smith(p) => p.predict(job, elapsed),
+            ServePredictor::Gibbons(p) => p.predict(job, elapsed),
+            ServePredictor::Downey(p) => p.predict(job, elapsed),
+        }
+    }
+
+    fn on_complete(&mut self, job: &Job) {
+        match self {
+            ServePredictor::Smith(p) => p.on_complete(job),
+            ServePredictor::Gibbons(p) => p.on_complete(job),
+            ServePredictor::Downey(p) => p.on_complete(job),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ServePredictor::Smith(p) => p.reset(),
+            ServePredictor::Gibbons(p) => p.reset(),
+            ServePredictor::Downey(p) => p.reset(),
+        }
+    }
+
+    fn generation(&self) -> Option<u64> {
+        match self {
+            ServePredictor::Smith(p) => p.generation(),
+            ServePredictor::Gibbons(p) => p.generation(),
+            ServePredictor::Downey(p) => p.generation(),
+        }
+    }
+}
+
+/// Magic first line of an encoded state body.
+pub const STATE_MAGIC: &str = "qpredict-serve-state v1";
+
+/// The in-memory service state. See the module docs for the model.
+#[derive(Debug)]
+pub struct ServiceState {
+    cfg: ServeConfig,
+    syms: SymbolTable,
+    predictor: CachingPredictor<ServePredictor>,
+    jobs: HashMap<u64, JobRecord>,
+    done_fifo: VecDeque<u64>,
+    /// Pending events, kept sorted by `(sort_key, seq)`.
+    buffer: Vec<(JobEvent, u64)>,
+    watermark: Option<Time>,
+    live: usize,
+    next_internal: u32,
+    applied_seq: u64,
+    counters: Counters,
+}
+
+impl ServiceState {
+    /// An empty service.
+    pub fn new(cfg: ServeConfig) -> ServiceState {
+        ServiceState {
+            predictor: CachingPredictor::new(ServePredictor::build(&cfg)),
+            cfg,
+            syms: SymbolTable::new(),
+            jobs: HashMap::new(),
+            done_fifo: VecDeque::new(),
+            buffer: Vec::new(),
+            watermark: None,
+            live: 0,
+            next_internal: 0,
+            applied_seq: 0,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Sequence number of the last ingested input line.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// The anomaly/throughput counters.
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Jobs currently queued or running.
+    pub fn live_jobs(&self) -> usize {
+        self.live
+    }
+
+    /// Completed data points resident in the predictor's history (Smith
+    /// only; baselines report 0). Bounded by
+    /// `max_history × template count`.
+    pub fn predictor_resident_points(&self) -> usize {
+        self.predictor.inner().resident_points()
+    }
+
+    /// Events waiting in the reorder buffer.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Estimate-cache statistics of the hosted predictor.
+    pub fn cache_stats(&self) -> qpredict_predict::CacheStats {
+        self.predictor.stats()
+    }
+
+    /// Ingest one raw input line. `seq` must exceed every previously
+    /// ingested sequence number; responses (with globally unique
+    /// ordinals) are appended to `out`. Never panics on malformed input.
+    pub fn ingest_line(&mut self, seq: u64, raw: &str, out: &mut Vec<Response>) {
+        debug_assert!(seq > self.applied_seq, "non-monotone input seq {seq}");
+        self.applied_seq = seq;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return;
+        }
+        match JobEvent::parse(line) {
+            Err(_) => {
+                self.counters.malformed += 1;
+                counter_add("serve.malformed", 1);
+            }
+            Ok(ev) => self.admit(ev, seq, out),
+        }
+    }
+
+    /// Drain the reorder buffer (end of stream): apply every pending
+    /// event in canonical order.
+    pub fn drain(&mut self, out: &mut Vec<Response>) {
+        while !self.buffer.is_empty() {
+            let (ev, _) = self.buffer.remove(0);
+            self.apply(ev, out);
+        }
+    }
+
+    fn admit(&mut self, ev: JobEvent, seq: u64, out: &mut Vec<Response>) {
+        self.counters.events += 1;
+        counter_add("serve.events", 1);
+        if let Some(w) = self.watermark {
+            if ev.time < w {
+                // Behind the watermark: the canonical position has
+                // already been applied past. Backfill immediately — a
+                // late finish still teaches the predictor, and the
+                // generation bump invalidates stale cached estimates.
+                self.counters.late += 1;
+                counter_add("serve.late", 1);
+                self.apply(ev, out);
+                return;
+            }
+        }
+        let key = (ev.sort_key(), seq);
+        let pos = self
+            .buffer
+            .partition_point(|(e, s)| (e.sort_key(), *s) <= key);
+        if pos < self.buffer.len() {
+            // Something already buffered sorts after this event: the
+            // arrival order was not canonical.
+            self.counters.out_of_order += 1;
+            counter_add("serve.out_of_order", 1);
+        }
+        self.buffer.insert(pos, (ev, seq));
+        while self.buffer.len() > self.cfg.horizon.max(1) {
+            let (ev, _) = self.buffer.remove(0);
+            self.apply(ev, out);
+        }
+    }
+
+    fn apply(&mut self, ev: JobEvent, out: &mut Vec<Response>) {
+        self.watermark = Some(match self.watermark {
+            Some(w) => w.max(ev.time),
+            None => ev.time,
+        });
+        match ev.kind {
+            EventKind::Submit(spec) => {
+                if self.jobs.contains_key(&ev.id) {
+                    self.duplicate();
+                    return;
+                }
+                let internal = self.next_internal;
+                self.next_internal += 1;
+                let mut chars = [None; 8];
+                for (c, v) in &spec.chars {
+                    chars[c.index()] = Some(self.syms.intern(v));
+                }
+                self.jobs.insert(
+                    ev.id,
+                    JobRecord {
+                        internal,
+                        nodes: spec.nodes.max(1),
+                        limit: spec.limit,
+                        chars,
+                        submit: ev.time,
+                        phase: Phase::Queued,
+                    },
+                );
+                self.live += 1;
+                self.shed_overload();
+            }
+            EventKind::Start => match self.jobs.get_mut(&ev.id) {
+                None => self.orphan(),
+                Some(r) => match r.phase {
+                    Phase::Queued => r.phase = Phase::Running { started: ev.time },
+                    Phase::Running { .. } | Phase::Done => self.duplicate(),
+                },
+            },
+            EventKind::Finish { runtime } => match self.jobs.get(&ev.id).copied() {
+                None => self.orphan(),
+                Some(r) => match r.phase {
+                    Phase::Running { started } => {
+                        let rt = runtime.unwrap_or_else(|| ev.time.since(started));
+                        self.complete(ev.id, r, rt);
+                    }
+                    Phase::Queued => {
+                        // Finish observed before any start: reconcile
+                        // with what we have rather than losing the
+                        // completion.
+                        self.counters.out_of_order += 1;
+                        counter_add("serve.out_of_order", 1);
+                        let rt = runtime.unwrap_or_else(|| ev.time.since(r.submit));
+                        self.complete(ev.id, r, rt);
+                    }
+                    Phase::Done => self.duplicate(),
+                },
+            },
+            EventKind::Cancel => match self.jobs.get_mut(&ev.id) {
+                None => self.orphan(),
+                Some(r) => match r.phase {
+                    Phase::Queued | Phase::Running { .. } => {
+                        r.phase = Phase::Done;
+                        self.live -= 1;
+                        self.counters.cancelled += 1;
+                        counter_add("serve.cancelled", 1);
+                        self.retire(ev.id);
+                    }
+                    Phase::Done => self.duplicate(),
+                },
+            },
+            EventKind::Query => {
+                let line = self.answer(ev.id, ev.time);
+                self.counters.responses += 1;
+                counter_add("serve.responses", 1);
+                out.push(Response {
+                    ordinal: self.counters.responses,
+                    line,
+                });
+            }
+        }
+    }
+
+    fn duplicate(&mut self) {
+        self.counters.duplicate += 1;
+        counter_add("serve.duplicate", 1);
+    }
+
+    fn orphan(&mut self) {
+        self.counters.orphan += 1;
+        counter_add("serve.orphan", 1);
+    }
+
+    /// Feed a completion to the predictor and retire the record.
+    fn complete(&mut self, id: u64, r: JobRecord, runtime: Dur) {
+        let job = r.job(runtime.max(Dur::SECOND));
+        self.predictor.on_complete(&job);
+        if let Some(rec) = self.jobs.get_mut(&id) {
+            rec.phase = Phase::Done;
+        }
+        self.live -= 1;
+        self.counters.completions += 1;
+        counter_add("serve.completions", 1);
+        self.retire(id);
+    }
+
+    /// Move a job into the bounded done-FIFO, evicting beyond `max_done`.
+    fn retire(&mut self, id: u64) {
+        self.done_fifo.push_back(id);
+        while self.done_fifo.len() > self.cfg.max_done.max(1) {
+            let old = self.done_fifo.pop_front().expect("non-empty fifo");
+            self.jobs.remove(&old);
+            self.counters.evicted += 1;
+            counter_add("serve.evicted", 1);
+        }
+    }
+
+    /// Drop-oldest load shedding: while more than `max_jobs` jobs are
+    /// live, remove the one with the smallest internal id (the oldest
+    /// admission). Subsequent events for a shed job count as orphans.
+    fn shed_overload(&mut self) {
+        while self.live > self.cfg.max_jobs.max(1) {
+            let oldest = self
+                .jobs
+                .iter()
+                .filter(|(_, r)| r.phase != Phase::Done)
+                .min_by_key(|(_, r)| r.internal)
+                .map(|(id, _)| *id)
+                .expect("live > 0 implies a live job exists");
+            self.jobs.remove(&oldest);
+            self.live -= 1;
+            self.counters.shed += 1;
+            counter_add("serve.shed", 1);
+        }
+    }
+
+    /// Answer a wait-time query about `id` at time `now`.
+    ///
+    /// For a queued job the answer is the paper's estimated queue wait:
+    /// build the free-node profile from the predicted completion times of
+    /// the running jobs, reserve (FCFS) every job queued ahead at its
+    /// earliest fit using its predicted run time, then place the queried
+    /// job — its earliest fit minus `now` is the wait.
+    fn answer(&mut self, id: u64, now: Time) -> String {
+        let Some(r) = self.jobs.get(&id).copied() else {
+            return format!("t={} id={id} unknown", now.0);
+        };
+        match r.phase {
+            Phase::Done => format!("t={} id={id} done", now.0),
+            Phase::Running { started } => {
+                let elapsed = now.since(started).max(Dur::ZERO);
+                let p = self
+                    .predictor
+                    .predict(&r.job(Dur::SECOND), elapsed)
+                    .clamped(elapsed);
+                let rem = p.estimate - elapsed;
+                format!(
+                    "t={} id={id} running rem={} ci={:016X} fallback={}",
+                    now.0,
+                    rem.0,
+                    p.ci_halfwidth.to_bits(),
+                    u8::from(p.fallback),
+                )
+            }
+            Phase::Queued => {
+                let machine = self.cfg.machine_nodes.max(1);
+                // Predicted completion times of running jobs, in internal
+                // (admission) order for determinism.
+                let mut running: Vec<(u32, JobRecord, Time)> = self
+                    .jobs
+                    .values()
+                    .filter_map(|rec| match rec.phase {
+                        Phase::Running { started } => Some((rec.internal, *rec, started)),
+                        _ => None,
+                    })
+                    .collect();
+                running.sort_by_key(|(internal, _, _)| *internal);
+                let mut profile_in: Vec<(u32, Time)> = Vec::with_capacity(running.len());
+                for (_, rec, started) in &running {
+                    let elapsed = now.since(*started).max(Dur::ZERO);
+                    let p = self
+                        .predictor
+                        .predict(&rec.job(Dur::SECOND), elapsed)
+                        .clamped(elapsed);
+                    profile_in.push((rec.nodes.min(machine), *started + p.estimate));
+                }
+                // Disordered streams can legitimately claim more running
+                // nodes than the machine has; observe, don't assert.
+                let mut violations = Vec::new();
+                let mut profile =
+                    Profile::new_reporting(machine, now, &profile_in, Some(&mut violations));
+                if !violations.is_empty() {
+                    counter_add("serve.oversubscribed", 1);
+                }
+                // FCFS: reserve everything queued ahead of the target.
+                let mut queued: Vec<(u32, JobRecord)> = self
+                    .jobs
+                    .values()
+                    .filter_map(|rec| match rec.phase {
+                        Phase::Queued if rec.internal < r.internal => Some((rec.internal, *rec)),
+                        _ => None,
+                    })
+                    .collect();
+                queued.sort_by_key(|(internal, _)| *internal);
+                for (_, rec) in &queued {
+                    let p = self
+                        .predictor
+                        .predict(&rec.job(Dur::SECOND), Dur::ZERO)
+                        .clamped(Dur::ZERO);
+                    let nodes = rec.nodes.min(machine);
+                    let at = profile.earliest_fit(nodes, p.estimate);
+                    profile.reserve(at, p.estimate, nodes);
+                }
+                let p = self
+                    .predictor
+                    .predict(&r.job(Dur::SECOND), Dur::ZERO)
+                    .clamped(Dur::ZERO);
+                let start = profile.earliest_fit(r.nodes.min(machine), p.estimate);
+                let wait = start.since(now).max(Dur::ZERO);
+                format!(
+                    "t={} id={id} wait={} runtime={} ci={:016X} fallback={}",
+                    now.0,
+                    wait.0,
+                    p.estimate.0,
+                    p.ci_halfwidth.to_bits(),
+                    u8::from(p.fallback),
+                )
+            }
+        }
+    }
+
+    // ----- snapshot codec ------------------------------------------------
+
+    /// Serialize the full state to a text body (no checksum framing; the
+    /// durability layer seals it). Deterministic: equal states encode to
+    /// equal bytes, and every floating-point aggregate inside the
+    /// predictor is carried bitwise, so decode → encode is the identity.
+    pub fn encode(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{STATE_MAGIC}");
+        let _ = writeln!(s, "config fp={:016X}", self.cfg.fingerprint());
+        let _ = writeln!(
+            s,
+            "cursor seq={} next={} watermark={}",
+            self.applied_seq,
+            self.next_internal,
+            match self.watermark {
+                Some(t) => t.0.to_string(),
+                None => "-".to_string(),
+            }
+        );
+        let _ = writeln!(s, "{}", self.counters.encode());
+        for (_, name) in self.syms.iter() {
+            let _ = writeln!(s, "sym {name}");
+        }
+        let mut jobs: Vec<(&u64, &JobRecord)> = self.jobs.iter().collect();
+        jobs.sort_by_key(|(_, r)| r.internal);
+        for (ext, r) in jobs {
+            let phase = match r.phase {
+                Phase::Queued => "q".to_string(),
+                Phase::Running { started } => format!("r:{}", started.0),
+                Phase::Done => "d".to_string(),
+            };
+            let chars: Vec<String> = r
+                .chars
+                .iter()
+                .map(|c| match c {
+                    Some(sym) => sym.index().to_string(),
+                    None => "-".to_string(),
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "job {ext} {} {} {} {} {} {}",
+                r.internal,
+                r.nodes,
+                match r.limit {
+                    Some(l) => l.0.to_string(),
+                    None => "-".to_string(),
+                },
+                r.submit.0,
+                phase,
+                chars.join(","),
+            );
+        }
+        let fifo: Vec<String> = self.done_fifo.iter().map(|id| id.to_string()).collect();
+        let _ = writeln!(
+            s,
+            "donefifo {}",
+            if fifo.is_empty() {
+                "-".to_string()
+            } else {
+                fifo.join(",")
+            }
+        );
+        for (ev, seq) in &self.buffer {
+            let _ = writeln!(s, "rb {seq} {}", ev.encode());
+        }
+        let _ = writeln!(s, "pred {}", self.cfg.predictor.name());
+        for line in self.predictor.inner().encode_state().lines() {
+            let _ = writeln!(s, "| {line}");
+        }
+        s
+    }
+
+    /// Rebuild a state from [`ServiceState::encode`] output. `cfg` must
+    /// fingerprint-match the one the state was recorded under.
+    pub fn decode(cfg: ServeConfig, text: &str) -> Result<ServiceState, String> {
+        let mut lines = text.lines();
+        let magic = lines.next().ok_or("empty state")?;
+        if magic != STATE_MAGIC {
+            return Err(format!("not a serve state: {magic:?}"));
+        }
+        let mut state = ServiceState::new(cfg);
+        let mut pred_lines = String::new();
+        let mut pred_named = false;
+        let mut seen_fifo = false;
+        for line in lines {
+            let (word, rest) = line.split_once(' ').unwrap_or((line, ""));
+            match word {
+                "config" => {
+                    let fp = rest
+                        .strip_prefix("fp=")
+                        .ok_or("bad config line")
+                        .and_then(|h| {
+                            u64::from_str_radix(h, 16).map_err(|_| "bad config fingerprint")
+                        })?;
+                    if fp != state.cfg.fingerprint() {
+                        return Err(format!(
+                            "state recorded under a different configuration \
+                             (fp {fp:016X}, ours {:016X})",
+                            state.cfg.fingerprint()
+                        ));
+                    }
+                }
+                "cursor" => {
+                    let f = qpredict_durable::parse_kv(rest, &["seq", "next", "watermark"])?;
+                    state.applied_seq = f[0].parse().map_err(|e| format!("bad cursor seq: {e}"))?;
+                    state.next_internal =
+                        f[1].parse().map_err(|e| format!("bad cursor next: {e}"))?;
+                    state.watermark = match f[2] {
+                        "-" => None,
+                        t => Some(Time(t.parse().map_err(|e| format!("bad watermark: {e}"))?)),
+                    };
+                }
+                "counters" => state.counters = Counters::decode(rest)?,
+                "sym" => {
+                    state.syms.intern(rest);
+                }
+                "job" => {
+                    let w: Vec<&str> = rest.split(' ').collect();
+                    if w.len() != 7 {
+                        return Err(format!("bad job record: {rest:?}"));
+                    }
+                    let ext: u64 = w[0].parse().map_err(|e| format!("bad job id: {e}"))?;
+                    let internal: u32 =
+                        w[1].parse().map_err(|e| format!("bad internal id: {e}"))?;
+                    let nodes: u32 = w[2].parse().map_err(|e| format!("bad nodes: {e}"))?;
+                    let limit = match w[3] {
+                        "-" => None,
+                        l => Some(Dur(l.parse().map_err(|e| format!("bad limit: {e}"))?)),
+                    };
+                    let submit = Time(w[4].parse().map_err(|e| format!("bad submit: {e}"))?);
+                    let phase = match w[5] {
+                        "q" => Phase::Queued,
+                        "d" => Phase::Done,
+                        p => match p.strip_prefix("r:") {
+                            Some(t) => Phase::Running {
+                                started: Time(
+                                    t.parse().map_err(|e| format!("bad start time: {e}"))?,
+                                ),
+                            },
+                            None => return Err(format!("bad phase {p:?}")),
+                        },
+                    };
+                    let mut chars = [None; 8];
+                    let parts: Vec<&str> = w[6].split(',').collect();
+                    if parts.len() != 8 {
+                        return Err(format!("bad characteristics {:?}", w[6]));
+                    }
+                    for (i, part) in parts.iter().enumerate() {
+                        if *part != "-" {
+                            let idx: usize =
+                                part.parse().map_err(|e| format!("bad sym index: {e}"))?;
+                            chars[i] = Some(
+                                state
+                                    .syms
+                                    .sym_at(idx)
+                                    .ok_or_else(|| format!("sym index {idx} beyond table"))?,
+                            );
+                        }
+                    }
+                    if state
+                        .jobs
+                        .insert(
+                            ext,
+                            JobRecord {
+                                internal,
+                                nodes,
+                                limit,
+                                chars,
+                                submit,
+                                phase,
+                            },
+                        )
+                        .is_some()
+                    {
+                        return Err(format!("duplicate job record for id {ext}"));
+                    }
+                    if phase != Phase::Done {
+                        state.live += 1;
+                    }
+                }
+                "donefifo" => {
+                    seen_fifo = true;
+                    if rest != "-" {
+                        for part in rest.split(',') {
+                            state
+                                .done_fifo
+                                .push_back(part.parse().map_err(|e| format!("bad done id: {e}"))?);
+                        }
+                    }
+                }
+                "rb" => {
+                    let (seq, ev) = rest.split_once(' ').ok_or("bad rb record")?;
+                    let seq: u64 = seq.parse().map_err(|e| format!("bad rb seq: {e}"))?;
+                    let ev = JobEvent::parse(ev).map_err(|e| format!("bad rb event: {e}"))?;
+                    state.buffer.push((ev, seq));
+                }
+                "pred" => {
+                    if rest != state.cfg.predictor.name() {
+                        return Err(format!(
+                            "state hosts predictor {rest:?}, config wants {:?}",
+                            state.cfg.predictor.name()
+                        ));
+                    }
+                    pred_named = true;
+                }
+                "|" => {
+                    pred_lines.push_str(rest);
+                    pred_lines.push('\n');
+                }
+                other => return Err(format!("unknown state record {other:?}")),
+            }
+        }
+        if !pred_named {
+            return Err("state missing predictor section".into());
+        }
+        if !seen_fifo {
+            return Err("state missing donefifo record".into());
+        }
+        let inner = ServePredictor::decode_state(&state.cfg, &state.syms, &pred_lines)?;
+        state.predictor = CachingPredictor::new(inner);
+        // The buffer must come back in its sorted order; verify rather
+        // than trust.
+        let sorted = state
+            .buffer
+            .windows(2)
+            .all(|w| (w[0].0.sort_key(), w[0].1) <= (w[1].0.sort_key(), w[1].1));
+        if !sorted {
+            return Err("reorder buffer not in canonical order".into());
+        }
+        Ok(state)
+    }
+
+    /// FNV-1a fingerprint of the encoded state — the bit-identity probe
+    /// used by the chaos tests.
+    pub fn fingerprint(&self) -> u64 {
+        qpredict_durable::fnv1a(self.encode().as_bytes())
+    }
+
+    /// Like [`ServiceState::fingerprint`], but ignoring the anomaly
+    /// counters. Equivalence tests use this: two arrival orders of the
+    /// same events legitimately observe different `out_of_order`/`late`
+    /// tallies yet must converge to the same learned state, job table,
+    /// and pending buffer.
+    pub fn core_fingerprint(&self) -> u64 {
+        let full = self.encode();
+        let body: Vec<&str> = full
+            .lines()
+            .filter(|l| !l.starts_with("counters "))
+            .collect();
+        qpredict_durable::fnv1a(body.join("\n").as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(state: &mut ServiceState, lines: &[&str]) -> Vec<Response> {
+        let mut out = Vec::new();
+        let base = state.applied_seq();
+        for (i, line) in lines.iter().enumerate() {
+            state.ingest_line(base + 1 + i as u64, line, &mut out);
+        }
+        out
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            horizon: 4,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_query_produce_deterministic_responses() {
+        let mut s = ServiceState::new(small_cfg());
+        let mut out = feed(
+            &mut s,
+            &[
+                "submit 1 100 nodes=8 limit=3600 u=alice",
+                "start 1 110",
+                "finish 1 710",
+                "submit 2 800 nodes=8 limit=3600 u=alice",
+                "query 2 801",
+            ],
+        );
+        let mut drained = Vec::new();
+        s.drain(&mut drained);
+        out.extend(drained);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].ordinal, 1);
+        assert!(out[0].line.contains("id=2"), "{}", out[0].line);
+        assert!(out[0].line.contains("wait="), "{}", out[0].line);
+        assert_eq!(s.counters().completions, 1);
+        assert_eq!(s.counters().responses, 1);
+    }
+
+    #[test]
+    fn anomalies_are_counted_not_fatal() {
+        let mut s = ServiceState::new(ServeConfig {
+            horizon: 1,
+            ..ServeConfig::default()
+        });
+        let responses = feed(
+            &mut s,
+            &[
+                "submit 1 100 nodes=4",
+                "submit 1 100 nodes=4", // duplicate submit
+                "start 9 120",          // orphan
+                "finish 1 200",         // finish before start: reconciled
+                "finish 1 201",         // duplicate finish
+                "not an event line",    // malformed
+                "submit 2 300 nodes=4",
+                "query 1 150", // behind watermark: late backfill
+            ],
+        );
+        let mut out = Vec::new();
+        s.drain(&mut out);
+        let c = *s.counters();
+        assert_eq!(c.duplicate, 2);
+        assert_eq!(c.orphan, 1);
+        assert!(c.out_of_order >= 1, "finish-before-start must count");
+        assert_eq!(c.malformed, 1);
+        assert!(c.late >= 1, "late counter: {c:?}");
+        assert_eq!(c.completions, 1);
+        assert_eq!(responses.len(), 1, "late query must still answer");
+        assert!(responses[0].line.contains("done"), "{}", responses[0].line);
+    }
+
+    #[test]
+    fn reorder_within_horizon_converges_to_canonical_order() {
+        let lines = [
+            "submit 1 100 nodes=4 u=a",
+            "start 1 110",
+            "finish 1 400",
+            "submit 2 450 nodes=4 u=a",
+            "query 2 451",
+        ];
+        let mut in_order = ServiceState::new(small_cfg());
+        let mut a = feed(&mut in_order, &lines);
+        let mut t = Vec::new();
+        in_order.drain(&mut t);
+        a.extend(t);
+
+        // Swap adjacent events (displacement 1 < horizon 4).
+        let shuffled = [lines[1], lines[0], lines[3], lines[2], lines[4]];
+        let mut disordered = ServiceState::new(small_cfg());
+        let mut b = feed(&mut disordered, &shuffled);
+        let mut t = Vec::new();
+        disordered.drain(&mut t);
+        b.extend(t);
+
+        assert_eq!(
+            a.iter().map(|r| &r.line).collect::<Vec<_>>(),
+            b.iter().map(|r| &r.line).collect::<Vec<_>>()
+        );
+        assert_eq!(in_order.core_fingerprint(), disordered.core_fingerprint());
+        assert!(disordered.counters().out_of_order >= 1);
+    }
+
+    #[test]
+    fn state_round_trips_bit_identically() {
+        let cfg = small_cfg();
+        let mut s = ServiceState::new(cfg.clone());
+        feed(
+            &mut s,
+            &[
+                "submit 1 100 nodes=8 limit=3600 u=alice e=lmp",
+                "start 1 110",
+                "finish 1 710",
+                "submit 2 800 nodes=16 u=bob",
+                "start 2 805",
+                "submit 3 900 nodes=4 u=alice",
+                "query 3 901",
+                "cancel 9 950", // orphan — counters must survive too
+            ],
+        );
+        let body = s.encode();
+        let back = ServiceState::decode(cfg, &body).expect("decode");
+        assert_eq!(back.encode(), body, "decode→encode must be the identity");
+        assert_eq!(back.fingerprint(), s.fingerprint());
+        // And the two must continue in lockstep.
+        let mut s2 = back;
+        let mut orig = s;
+        let lines = ["query 3 960", "finish 2 1400", "query 3 1500"];
+        let mut ra = feed(&mut orig, &lines);
+        let mut rb = feed(&mut s2, &lines);
+        let mut t = Vec::new();
+        orig.drain(&mut t);
+        ra.extend(t);
+        let mut t = Vec::new();
+        s2.drain(&mut t);
+        rb.extend(t);
+        assert_eq!(ra, rb);
+        assert_eq!(orig.fingerprint(), s2.fingerprint());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_wrong_config() {
+        let cfg = small_cfg();
+        let s = ServiceState::new(cfg.clone());
+        let body = s.encode();
+        assert!(ServiceState::decode(cfg.clone(), "").is_err());
+        assert!(ServiceState::decode(cfg.clone(), "serve nonsense\n").is_err());
+        let mut other = cfg.clone();
+        other.max_history = 7;
+        assert!(ServiceState::decode(other, &body)
+            .unwrap_err()
+            .contains("different configuration"),);
+        // Truncating the predictor section must fail, not half-load.
+        let cut = body
+            .lines()
+            .filter(|l| !l.starts_with("pred"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(ServiceState::decode(cfg, &cut).is_err());
+    }
+
+    #[test]
+    fn load_shedding_and_done_eviction_bound_the_job_table() {
+        let cfg = ServeConfig {
+            max_jobs: 8,
+            max_done: 8,
+            horizon: 1,
+            ..ServeConfig::default()
+        };
+        let mut s = ServiceState::new(cfg);
+        let mut out = Vec::new();
+        // Each round admits two jobs and completes one, so the live set
+        // grows without bound unless shedding holds the line, and the
+        // done set grows without bound unless the FIFO evicts.
+        for i in 0..40i64 {
+            let t = 100 + i * 10;
+            let a = 2 * i as u64 + 1;
+            let b = a + 1;
+            for line in [
+                format!("submit {a} {t} nodes=4 u=u{}", i % 5),
+                format!("submit {b} {t} nodes=4 u=u{}", i % 5),
+                format!("start {a} {}", t + 1),
+                format!("finish {a} {}", t + 5),
+            ] {
+                s.ingest_line(s.applied_seq() + 1, &line, &mut out);
+            }
+        }
+        s.drain(&mut out);
+        assert!(s.live_jobs() <= 8, "live {}", s.live_jobs());
+        assert!(s.jobs.len() <= 8 + 8, "table {}", s.jobs.len());
+        assert!(s.counters().shed > 0, "{:?}", s.counters());
+        assert!(s.counters().evicted > 0, "{:?}", s.counters());
+    }
+}

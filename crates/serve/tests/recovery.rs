@@ -1,0 +1,276 @@
+//! Integration tests for the online predictor service: kill-anywhere
+//! recovery, corrupted-snapshot and torn-WAL tolerance, reorder
+//! equivalence under permutation, and bounded memory on long streams.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use qpredict_serve::{FsyncPolicy, ServeConfig, Service};
+use qpredict_workload::{synthesize_events, Rng64};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qpredict-serve-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cfg() -> ServeConfig {
+    ServeConfig {
+        horizon: 8,
+        snapshot_every: 7,
+        // Same-process aborts never lose page-cache writes, so the tests
+        // skip fsync; the ci.sh SIGKILL smoke covers the real thing.
+        fsync: FsyncPolicy::Never,
+        ..ServeConfig::default()
+    }
+}
+
+/// A realistic event stream from the toy synthetic workload, plus a few
+/// hand-written anomalies (duplicates, a malformed line, an orphan) so
+/// recovery is also exercised across counter-bearing paths.
+fn event_lines(jobs: usize) -> Vec<String> {
+    let wl = qpredict_workload::synthetic::toy(jobs, 64, 7);
+    let mut lines: Vec<String> = synthesize_events(&wl, 6)
+        .iter()
+        .map(|e| e.encode())
+        .collect();
+    let mid = lines.len() / 2;
+    lines.insert(mid, lines[mid - 1].clone()); // duplicate
+    lines.insert(mid, "start 999999 1".into()); // orphan
+    lines.insert(mid, "submit pancakes".into()); // malformed
+    lines
+}
+
+/// Run the full stream uninterrupted; returns (state fingerprint, output
+/// log bytes).
+fn reference_run(root: &Path, lines: &[String]) -> (u64, String) {
+    let out = root.join("ref.out");
+    let mut svc = Service::open(cfg(), Some(&root.join("ref-state")), Some(&out), false).unwrap();
+    for l in lines {
+        svc.feed_line(l).unwrap();
+    }
+    svc.finish().unwrap();
+    (svc.state().fingerprint(), fs::read_to_string(&out).unwrap())
+}
+
+/// Feed `lines[..k]` into a fresh durable service and abandon it without
+/// `finish()` — the in-process equivalent of a kill.
+fn abandoned_prefix(state_dir: &Path, out: &Path, lines: &[String], k: usize) {
+    let mut svc = Service::open(cfg(), Some(state_dir), Some(out), false).unwrap();
+    for l in &lines[..k] {
+        svc.feed_line(l).unwrap();
+    }
+    drop(svc);
+}
+
+/// Resume from `state_dir`, re-feed everything, and return the recovered
+/// service after `finish()`.
+fn resumed_full_run(state_dir: &Path, out: &Path, lines: &[String]) -> Service {
+    let mut svc = Service::open(cfg(), Some(state_dir), Some(out), true).unwrap();
+    assert!(svc.recovery.resumed);
+    for l in lines {
+        svc.feed_line(l).unwrap();
+    }
+    svc.finish().unwrap();
+    svc
+}
+
+/// The acceptance bar: killing after ANY input line and restarting must
+/// yield bit-identical state and output to an uninterrupted run.
+#[test]
+fn kill_at_every_index_recovers_bit_identically() {
+    let root = tmp_dir("killpoints");
+    let lines = event_lines(18);
+    let (want_fp, want_out) = reference_run(&root, &lines);
+
+    for k in 0..=lines.len() {
+        let state_dir = root.join(format!("k{k}"));
+        let out = root.join(format!("k{k}.out"));
+        abandoned_prefix(&state_dir, &out, &lines, k);
+        let svc = resumed_full_run(&state_dir, &out, &lines);
+        assert_eq!(
+            svc.state().fingerprint(),
+            want_fp,
+            "state diverged after kill at line {k}"
+        );
+        assert_eq!(
+            fs::read_to_string(&out).unwrap(),
+            want_out,
+            "output log diverged after kill at line {k}"
+        );
+        let _ = fs::remove_dir_all(&state_dir);
+        let _ = fs::remove_file(&out);
+    }
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// A bit-flipped latest snapshot must fail its checksum, fall back to the
+/// previous snapshot, and still recover to an identical result.
+#[test]
+fn corrupted_latest_snapshot_falls_back_to_previous() {
+    let root = tmp_dir("snapflip");
+    let lines = event_lines(18);
+    let (want_fp, want_out) = reference_run(&root, &lines);
+
+    let state_dir = root.join("state");
+    let out = root.join("events.out");
+    abandoned_prefix(&state_dir, &out, &lines, lines.len());
+
+    // Flip one byte in the middle of the newest snapshot.
+    let mut snaps: Vec<PathBuf> = fs::read_dir(&state_dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().is_some_and(|x| x == "snap")).then_some(p)
+        })
+        .collect();
+    snaps.sort();
+    assert!(snaps.len() >= 2, "need two snapshots for fallback");
+    let newest = snaps.last().unwrap();
+    let mut bytes = fs::read(newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(newest, bytes).unwrap();
+
+    let svc = resumed_full_run(&state_dir, &out, &lines);
+    assert!(svc.recovery.snapshot_fallbacks >= 1, "{:?}", svc.recovery);
+    assert_eq!(svc.state().fingerprint(), want_fp);
+    assert_eq!(fs::read_to_string(&out).unwrap(), want_out);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Garbage appended to the WAL (a torn write) must be detected, truncated,
+/// and must not perturb recovery.
+#[test]
+fn torn_wal_tail_is_truncated_and_harmless() {
+    let root = tmp_dir("torntail");
+    let lines = event_lines(18);
+    let (want_fp, want_out) = reference_run(&root, &lines);
+
+    let state_dir = root.join("state");
+    let out = root.join("events.out");
+    let k = lines.len() - 3; // kill with work still pending
+    abandoned_prefix(&state_dir, &out, &lines, k);
+
+    // Simulate a torn write: a half-record plus raw garbage (including
+    // invalid UTF-8) at the tail of the log.
+    let wal = state_dir.join("events.wal");
+    let mut bytes = fs::read(&wal).unwrap();
+    bytes.extend_from_slice(b"deadbeef 99 submit 7 70 no");
+    bytes.extend_from_slice(&[0xFF, 0xFE, 0x00, 0x9f]);
+    fs::write(&wal, bytes).unwrap();
+
+    let svc = resumed_full_run(&state_dir, &out, &lines);
+    assert!(svc.recovery.wal_torn_bytes > 0, "{:?}", svc.recovery);
+    assert_eq!(svc.state().fingerprint(), want_fp);
+    assert_eq!(fs::read_to_string(&out).unwrap(), want_out);
+    let _ = fs::remove_dir_all(&root);
+}
+
+/// Deterministic Fisher–Yates shuffle of disjoint fixed-size blocks: no
+/// event moves further than `block - 1` positions from its sorted slot.
+fn block_shuffle(lines: &mut [String], block: usize, seed: u64) {
+    let mut rng = Rng64::seed_from_u64(seed);
+    for chunk in lines.chunks_mut(block) {
+        for i in (1..chunk.len()).rev() {
+            chunk.swap(i, rng.gen_index(i + 1));
+        }
+    }
+}
+
+/// Satellite: any permutation confined to the reorder horizon converges to
+/// the same aggregates, and a probe job submitted afterwards gets a
+/// bit-identical prediction.
+#[test]
+fn permutations_within_horizon_converge() {
+    let lines = event_lines(24);
+    // In-order probes appended after the shuffled region; their responses
+    // reflect the final predictor state.
+    let probes = [
+        "submit 900001 90000000 nodes=4 limit=3600 u=u1".to_string(),
+        "query 900001 90000001".to_string(),
+        "submit 900002 90000002 nodes=8 limit=7200 u=u2".to_string(),
+        "query 900002 90000003".to_string(),
+    ];
+
+    let run = |stream: &[String]| -> (u64, Vec<String>) {
+        let mut svc = Service::open(cfg(), None, None, false).unwrap();
+        let mut responses = Vec::new();
+        for l in stream {
+            responses.extend(svc.feed_line(l).unwrap());
+        }
+        for l in &probes {
+            responses.extend(svc.feed_line(l).unwrap());
+        }
+        responses.extend(svc.finish().unwrap());
+        let probe_lines = responses
+            .iter()
+            .rev()
+            .take(2)
+            .map(|r| r.line.clone())
+            .collect();
+        (svc.state().core_fingerprint(), probe_lines)
+    };
+
+    let (want_fp, want_probes) = run(&lines);
+    let horizon = cfg().horizon;
+    for seed in 1..=6u64 {
+        let mut shuffled = lines.clone();
+        block_shuffle(&mut shuffled, horizon, seed);
+        let (fp, probe_lines) = run(&shuffled);
+        assert_eq!(fp, want_fp, "aggregates diverged for shuffle seed {seed}");
+        assert_eq!(
+            probe_lines, want_probes,
+            "probe predictions diverged for shuffle seed {seed}"
+        );
+    }
+}
+
+/// Satellite: a long stream with tight caps keeps predictor history, live
+/// jobs, and the done-dedupe table bounded, with eviction observable.
+#[test]
+fn long_stream_memory_stays_bounded() {
+    let cfg = ServeConfig {
+        max_history: 32,
+        max_jobs: 64,
+        max_done: 128,
+        horizon: 4,
+        snapshot_every: 100_000,
+        ..ServeConfig::default()
+    };
+    // One user/queue/executable and a fixed node count, so each of the six
+    // serve templates holds exactly one category: resident history is then
+    // capped at 6 * max_history points.
+    let n = 2000u64;
+    let mut svc = Service::open(cfg.clone(), None, None, false).unwrap();
+    let mut max_resident = 0usize;
+    for i in 1..=n {
+        let t = 100 + i as i64 * 10;
+        let sub = format!("submit {i} {t} nodes=4 limit=3600 u=alice q=batch e=prog");
+        svc.feed_line(&sub).unwrap();
+        svc.feed_line(&format!("start {i} {}", t + 2)).unwrap();
+        svc.feed_line(&format!("finish {i} {}", t + 240)).unwrap();
+        max_resident = max_resident.max(svc.state().predictor_resident_points());
+        assert!(svc.state().live_jobs() <= cfg.max_jobs);
+    }
+    // Overload phase: submits with no finishes must shed, not grow.
+    for i in n + 1..=n + 500 {
+        let t = 100_000 + i as i64;
+        svc.feed_line(&format!("submit {i} {t} nodes=4 u=alice q=batch e=prog"))
+            .unwrap();
+        assert!(svc.state().live_jobs() <= cfg.max_jobs);
+    }
+    svc.finish().unwrap();
+
+    let cap = 6 * cfg.max_history as usize;
+    assert!(
+        max_resident <= cap,
+        "resident history {max_resident} exceeded cap {cap}"
+    );
+    let c = svc.state().counters();
+    assert!(c.completions >= n - 10, "completions: {}", c.completions);
+    assert!(c.evicted > 0, "done-table eviction never triggered");
+    assert!(c.shed > 0, "overload shedding never triggered");
+    assert!(svc.state().live_jobs() <= cfg.max_jobs);
+}

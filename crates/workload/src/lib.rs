@@ -24,6 +24,7 @@
 
 pub mod analysis;
 pub mod compress;
+pub mod event;
 pub mod job;
 pub mod rng;
 pub mod stats;
@@ -34,6 +35,7 @@ pub mod time;
 pub mod workload;
 
 pub use compress::compress_interarrivals;
+pub use event::{synthesize_events, EventKind, JobEvent, SubmitSpec};
 pub use job::{Characteristic, Job, JobBuilder, JobId, CHARACTERISTICS};
 pub use rng::Rng64;
 pub use stats::WorkloadStats;

@@ -389,17 +389,20 @@ pub fn parse_with(
             report.record(SkipCategory::CancelledRecord, lineno, what);
             continue;
         }
+        // A repeated job number is never legitimate in one trace: keeping
+        // both records would double-count the job in every aggregate, so
+        // the duplicate is skipped (and tallied) under *both* policies.
+        if job_number >= 0 && !seen_job_numbers.insert(job_number) {
+            report.record(
+                SkipCategory::DuplicateJobId,
+                lineno,
+                format!("job number {job_number} already seen (field 1)"),
+            );
+            continue;
+        }
         if policy == IngestPolicy::Lenient {
-            // Structural consistency checks only the lenient reader
-            // performs: the strict path keeps its historical semantics.
-            if job_number >= 0 && !seen_job_numbers.insert(job_number) {
-                report.record(
-                    SkipCategory::DuplicateJobId,
-                    lineno,
-                    format!("job number {job_number} already seen (field 1)"),
-                );
-                continue;
-            }
+            // Ordering checks only the lenient reader performs: the
+            // strict path keeps its historical semantics.
             if let Some(prev) = last_submit {
                 if submit < prev {
                     report.record(
@@ -627,9 +630,14 @@ mod tests {
         assert_eq!(r.count(SkipCategory::DuplicateJobId), 1);
         assert_eq!(r.count(SkipCategory::NonMonotonicSubmit), 1);
         assert_eq!(r.skipped_lines, vec![2, 3]);
-        // Strict mode does not apply these structural checks.
-        let w = parse("t", 64, text).unwrap();
-        assert_eq!(w.len(), 4);
+        // Strict mode also refuses the duplicate id (keeping both would
+        // double-count the job) but keeps its historical tolerance of
+        // submit times that go backwards.
+        let (w, r) = parse_with("t", 64, text, IngestPolicy::Strict).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(r.count(SkipCategory::DuplicateJobId), 1);
+        assert_eq!(r.count(SkipCategory::NonMonotonicSubmit), 0);
+        assert_eq!(r.skipped_lines, vec![2]);
     }
 
     #[test]

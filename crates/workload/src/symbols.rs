@@ -70,6 +70,14 @@ impl SymbolTable {
         self.names.is_empty()
     }
 
+    /// The handle at position `index` in interning order, if interned.
+    /// Together with [`SymbolTable::iter`] this lets snapshot codecs
+    /// rebuild `Sym`-keyed state: persist strings in interning order,
+    /// re-intern on restore, and `sym_at(i)` reproduces the handles.
+    pub fn sym_at(&self, index: usize) -> Option<Sym> {
+        (index < self.names.len()).then_some(Sym(index as u32))
+    }
+
     /// Iterate over `(Sym, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
         self.names

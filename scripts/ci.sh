@@ -28,6 +28,30 @@ trap 'rm -rf "$REPORT_TMP"' EXIT
     --report-out "$REPORT_TMP/report.json"
 ./target/release/qpredict check-report "$REPORT_TMP/report.json"
 
+# Kill-and-recover smoke: SIGKILL the serve subcommand mid-stream (the
+# throttle guarantees the kill lands before the stream ends), resume,
+# and require byte-identical output to an uninterrupted run.
+echo "==> serve kill-and-recover smoke (SIGKILL + --resume)"
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$REPORT_TMP" "$SERVE_TMP"' EXIT
+./target/release/qpredict events toy --jobs 60 --query-every 5 \
+    --out "$SERVE_TMP/events.log" 2>/dev/null
+./target/release/qpredict serve "$SERVE_TMP/events.log" \
+    --state-dir "$SERVE_TMP/ref-state" --snapshot-every 16 \
+    --out "$SERVE_TMP/ref.out" 2>/dev/null
+./target/release/qpredict serve "$SERVE_TMP/events.log" \
+    --state-dir "$SERVE_TMP/state" --snapshot-every 16 --fsync always \
+    --throttle-us 3000 --out "$SERVE_TMP/run.out" 2>/dev/null &
+SERVE_PID=$!
+sleep 0.25
+kill -KILL "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+./target/release/qpredict serve "$SERVE_TMP/events.log" \
+    --state-dir "$SERVE_TMP/state" --resume --snapshot-every 16 \
+    --out "$SERVE_TMP/run.out" 2>/dev/null
+cmp "$SERVE_TMP/ref.out" "$SERVE_TMP/run.out"
+echo "    serve recovered bit-identically after SIGKILL"
+
 # One-iteration smoke run of every bench: catches panics, broken
 # assertions, and artifact-emission bugs in the bench binaries without
 # paying for real measurements. The estimation bench also asserts the

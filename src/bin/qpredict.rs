@@ -9,6 +9,13 @@
 //! qpredict search   <trace.swf|site> [--generations N] [--population N]
 //!                   [--checkpoint-dir DIR] [--resume] [--max-retries N]
 //!                   [--eval-budget N] [--fault-eval P]
+//! qpredict events   <trace.swf|site> [--jobs N] [--query-every K]
+//!                   [--shuffle W] [--seed N] [--out FILE]
+//! qpredict serve    <events.log|-> [--state-dir DIR] [--resume]
+//!                   [--predictor P] [--nodes N] [--horizon N]
+//!                   [--snapshot-every N] [--fsync always|batch[=N]|never]
+//!                   [--max-jobs N] [--max-done N] [--max-history N]
+//!                   [--throttle-us N] [--out FILE]
 //! ```
 //!
 //! Common flags: `--ingest lenient|strict` controls SWF parsing
@@ -22,6 +29,14 @@
 //! `--eval-budget` tune the evaluation supervisor, and `--fault-eval`
 //! injects evaluator chaos (panics/hangs/errors) at the given rate,
 //! seeded by `--fault-seed`.
+//!
+//! `events` derives a job-event stream (submissions, starts, finishes,
+//! periodic wait-time queries) from a workload, optionally block-shuffled
+//! (`--shuffle W`) to exercise reorder handling. `serve` runs the
+//! crash-safe online predictor service over such a stream: with
+//! `--state-dir` every input line is write-ahead logged and state is
+//! snapshotted, so a killed run restarted with `--resume` reproduces the
+//! uninterrupted run bit for bit.
 //!
 //! Sites are generated synthetically (full Table 1 size unless `--jobs`);
 //! `.swf` paths are parsed as Standard Workload Format traces.
@@ -58,6 +73,16 @@ struct Opts {
     max_retries: Option<u32>,
     eval_budget: Option<u64>,
     report_out: Option<String>,
+    state_dir: Option<String>,
+    horizon: Option<usize>,
+    snapshot_every: Option<u64>,
+    fsync: Option<qpredict::serve::FsyncPolicy>,
+    max_jobs: Option<usize>,
+    max_done: Option<usize>,
+    max_history: Option<u32>,
+    throttle_us: Option<u64>,
+    query_every: Option<usize>,
+    shuffle: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -68,6 +93,11 @@ fn usage() -> ! {
          [--ingest strict|lenient] [--fault-seed N] [--fault-pred-noise P] [--out FILE] \
          [--generations N] [--population N] [--seed N] [--checkpoint-dir DIR] [--resume] \
          [--max-retries N] [--eval-budget N] [--fault-eval P] [--report-out FILE|-]\n\
+         \x20      qpredict events <trace.swf|site> [--jobs N] [--query-every K] [--shuffle W] \
+         [--seed N] [--out FILE]\n\
+         \x20      qpredict serve <events.log|-> [--state-dir DIR] [--resume] [--predictor P] \
+         [--nodes N] [--horizon N] [--snapshot-every N] [--fsync always|batch[=N]|never] \
+         [--max-jobs N] [--max-done N] [--max-history N] [--throttle-us N] [--out FILE]\n\
          \x20      qpredict check-report <report.json>"
     );
     exit(2)
@@ -78,6 +108,29 @@ fn usage() -> ! {
 fn flag_error(msg: String) -> ! {
     eprintln!("qpredict: {msg}");
     exit(2)
+}
+
+/// Serve-layer failures: configuration contradictions (stale state dir,
+/// fingerprint mismatch) are usage errors (exit 2); disk failures are
+/// runtime errors (exit 1).
+fn serve_fail(e: qpredict::serve::ServeError) -> ! {
+    match e {
+        qpredict::serve::ServeError::Config(msg) => flag_error(msg),
+        other => {
+            eprintln!("qpredict: {other}");
+            exit(1)
+        }
+    }
+}
+
+/// Print one response line, tolerating a closed pipe.
+fn print_resp(r: &qpredict::serve::Response) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if writeln!(lock, "resp {} {}", r.ordinal, r.line).is_err() {
+        exit(0);
+    }
 }
 
 fn flag_value(it: &mut impl Iterator<Item = String>, flag: &str) -> String {
@@ -117,6 +170,16 @@ fn parse_opts(args: &[String]) -> Opts {
         max_retries: None,
         eval_budget: None,
         report_out: None,
+        state_dir: None,
+        horizon: None,
+        snapshot_every: None,
+        fsync: None,
+        max_jobs: None,
+        max_done: None,
+        max_history: None,
+        throttle_us: None,
+        query_every: None,
+        shuffle: None,
     };
     let mut it = args.iter().cloned();
     while let Some(a) = it.next() {
@@ -194,7 +257,54 @@ fn parse_opts(args: &[String]) -> Opts {
             }
             "--out" => o.out = Some(flag_value(&mut it, "--out")),
             "--report-out" => o.report_out = Some(flag_value(&mut it, "--report-out")),
+            "--state-dir" => o.state_dir = Some(flag_value(&mut it, "--state-dir")),
+            "--horizon" => {
+                o.horizon = Some(parse_value(&mut it, "--horizon", "a reorder-buffer size"))
+            }
+            "--snapshot-every" => {
+                o.snapshot_every = Some(parse_value(&mut it, "--snapshot-every", "a line interval"))
+            }
+            "--fsync" => {
+                let v = flag_value(&mut it, "--fsync");
+                o.fsync = Some(qpredict::serve::FsyncPolicy::parse(&v).unwrap_or_else(|e| {
+                    flag_error(format!("invalid value {v:?} for --fsync ({e})"))
+                }));
+            }
+            "--max-jobs" => {
+                let n: usize = parse_value(&mut it, "--max-jobs", "a live-job cap (>= 1)");
+                if n == 0 {
+                    flag_error(
+                        "invalid value \"0\" for --max-jobs (the cap must admit at \
+                                least one job)"
+                            .to_string(),
+                    );
+                }
+                o.max_jobs = Some(n);
+            }
+            "--max-done" => {
+                o.max_done = Some(parse_value(&mut it, "--max-done", "a done-record cap"))
+            }
+            "--max-history" => {
+                let n: u32 = parse_value(&mut it, "--max-history", "a per-category cap (>= 1)");
+                if n == 0 {
+                    flag_error(
+                        "invalid value \"0\" for --max-history (a predictor with no \
+                                history cannot predict)"
+                            .to_string(),
+                    );
+                }
+                o.max_history = Some(n);
+            }
+            "--throttle-us" => {
+                o.throttle_us = Some(parse_value(&mut it, "--throttle-us", "microseconds"))
+            }
+            "--query-every" => {
+                o.query_every = Some(parse_value(&mut it, "--query-every", "a job interval"))
+            }
+            "--shuffle" => o.shuffle = Some(parse_value(&mut it, "--shuffle", "a shuffle window")),
             "--help" | "-h" => usage(),
+            // A bare "-" is the conventional stdin positional (serve).
+            "-" => o.positional.push("-".to_string()),
             other if other.starts_with('-') => {
                 flag_error(format!("unknown flag {other:?} (see --help)"))
             }
@@ -536,6 +646,166 @@ fn main() {
             if let Some(p) = &spec.checkpoint {
                 println!("  checkpoint   {}", p.file().display());
             }
+        }
+        "events" => {
+            let wl = load(source, &opts);
+            let mut events =
+                qpredict::workload::synthesize_events(&wl, opts.query_every.unwrap_or(10));
+            // Optional deterministic disorder: shuffle within blocks of
+            // `--shuffle` events, bounding every event's displacement
+            // below the window so a serve --horizon >= W recovers the
+            // canonical order exactly.
+            if let Some(w) = opts.shuffle.filter(|w| *w > 1) {
+                let mut rng = qpredict::workload::Rng64::seed_from_u64(opts.seed.unwrap_or(42));
+                for chunk in events.chunks_mut(w) {
+                    for i in (1..chunk.len()).rev() {
+                        chunk.swap(i, rng.gen_index(i + 1));
+                    }
+                }
+            }
+            metric("n_events", events.len() as f64);
+            let mut text = String::with_capacity(events.len() * 32);
+            for e in &events {
+                text.push_str(&e.encode());
+                text.push('\n');
+            }
+            match &opts.out {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        exit(1)
+                    });
+                    eprintln!("{} events written to {path}", events.len());
+                }
+                None => emit_stdout(&text),
+            }
+        }
+        "serve" => {
+            if opts.resume && opts.state_dir.is_none() {
+                flag_error(
+                    "--resume requires --state-dir (there is no durable state to resume from)"
+                        .to_string(),
+                );
+            }
+            let kind =
+                qpredict::serve::PredictorKind::parse(opts.predictor.name()).unwrap_or_else(|| {
+                    flag_error(format!(
+                        "serve hosts smith|gibbons|downey-avg|downey-med, not {:?}",
+                        opts.predictor.name()
+                    ))
+                });
+            let defaults = qpredict::serve::ServeConfig::default();
+            let cfg = qpredict::serve::ServeConfig {
+                predictor: kind,
+                machine_nodes: opts.nodes,
+                horizon: opts.horizon.unwrap_or(defaults.horizon),
+                max_history: opts.max_history.unwrap_or(defaults.max_history),
+                max_jobs: opts.max_jobs.unwrap_or(defaults.max_jobs),
+                max_done: opts.max_done.unwrap_or(defaults.max_done),
+                snapshot_every: opts.snapshot_every.unwrap_or(defaults.snapshot_every),
+                fsync: opts.fsync.unwrap_or(defaults.fsync),
+            };
+            let state_dir = opts.state_dir.as_ref().map(std::path::PathBuf::from);
+            let out_path = opts.out.as_ref().map(std::path::PathBuf::from);
+            let mut svc = qpredict::serve::Service::open(
+                cfg,
+                state_dir.as_deref(),
+                out_path.as_deref(),
+                opts.resume,
+            )
+            .unwrap_or_else(|e| serve_fail(e));
+            if svc.recovery.resumed {
+                let r = svc.recovery;
+                eprintln!(
+                    "serve: recovered (snapshot seq {}, {} WAL records replayed, {} torn WAL \
+                     bytes truncated, {} snapshot fallbacks, {} responses re-emitted)",
+                    r.snapshot_seq,
+                    r.wal_replayed,
+                    r.wal_torn_bytes,
+                    r.snapshot_fallbacks,
+                    r.responses_reemitted
+                );
+            }
+            let run = |svc: &mut qpredict::serve::Service, reader: &mut dyn std::io::BufRead| {
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    match reader.read_line(&mut line) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) => {
+                            eprintln!("qpredict: cannot read event stream: {e}");
+                            exit(1)
+                        }
+                    }
+                    if let Some(us) = opts.throttle_us.filter(|us| *us > 0) {
+                        std::thread::sleep(std::time::Duration::from_micros(us));
+                    }
+                    let fresh = svc
+                        .feed_line(line.trim_end_matches(['\n', '\r']))
+                        .unwrap_or_else(|e| serve_fail(e));
+                    if opts.out.is_none() {
+                        for r in &fresh {
+                            print_resp(r);
+                        }
+                    }
+                }
+            };
+            if source == "-" {
+                let stdin = std::io::stdin();
+                run(&mut svc, &mut stdin.lock());
+            } else {
+                let file = std::fs::File::open(source).unwrap_or_else(|e| {
+                    eprintln!("cannot read {source}: {e}");
+                    exit(1)
+                });
+                run(&mut svc, &mut std::io::BufReader::new(file));
+            }
+            let fresh = svc.finish().unwrap_or_else(|e| serve_fail(e));
+            if opts.out.is_none() {
+                for r in &fresh {
+                    print_resp(r);
+                }
+            }
+            let c = *svc.state().counters();
+            metric("events", c.events as f64);
+            metric("responses", c.responses as f64);
+            metric("completions", c.completions as f64);
+            metric("duplicate", c.duplicate as f64);
+            metric("out_of_order", c.out_of_order as f64);
+            metric("late", c.late as f64);
+            metric("orphan", c.orphan as f64);
+            metric("shed", c.shed as f64);
+            metric("evicted", c.evicted as f64);
+            metric("malformed", c.malformed as f64);
+            metric("live_jobs", svc.state().live_jobs() as f64);
+            metric(
+                "resident_history_points",
+                svc.state().predictor_resident_points() as f64,
+            );
+            metric("snapshots", svc.snapshots_written() as f64);
+            eprintln!(
+                "serve: {} events, {} responses, {} completions ({} duplicate, {} out-of-order, \
+                 {} late, {} orphan, {} malformed)",
+                c.events,
+                c.responses,
+                c.completions,
+                c.duplicate,
+                c.out_of_order,
+                c.late,
+                c.orphan,
+                c.malformed
+            );
+            eprintln!(
+                "serve: memory: {} live jobs, {} done records evicted, {} shed, {} resident \
+                 history points; {} snapshots; state fp {:016X}",
+                svc.state().live_jobs(),
+                c.evicted,
+                c.shed,
+                svc.state().predictor_resident_points(),
+                svc.snapshots_written(),
+                svc.state().fingerprint()
+            );
         }
         _ => usage(),
     }

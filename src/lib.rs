@@ -20,7 +20,10 @@
 //!   sets;
 //! * [`core`] — queue wait-time prediction by nested simulation,
 //!   prediction-driven scheduling, and the experiment harness that
-//!   regenerates every quantitative table in the paper.
+//!   regenerates every quantitative table in the paper;
+//! * [`serve`] — a crash-safe online predictor service: write-ahead
+//!   logged, snapshotted, tolerant of disordered/duplicated/late events,
+//!   with bounded memory and kill-anywhere recovery.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +52,7 @@ pub use qpredict_core as core;
 pub use qpredict_obs as obs;
 pub use qpredict_predict as predict;
 pub use qpredict_search as search;
+pub use qpredict_serve as serve;
 pub use qpredict_sim as sim;
 pub use qpredict_workload as workload;
 

@@ -255,3 +255,178 @@ fn bad_arguments_fail_cleanly() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown site"));
 }
+
+#[test]
+fn events_then_serve_round_trip_with_resume() {
+    let dir = std::env::temp_dir().join("qpredict_cli_serve_rt");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ev = dir.join("events.log");
+    let out = bin()
+        .args([
+            "events",
+            "toy",
+            "--jobs",
+            "30",
+            "--query-every",
+            "5",
+            "--out",
+            ev.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Uninterrupted reference run.
+    let ref_out = dir.join("ref.out");
+    let out = bin()
+        .args([
+            "serve",
+            ev.to_str().unwrap(),
+            "--state-dir",
+            dir.join("ref-state").to_str().unwrap(),
+            "--snapshot-every",
+            "16",
+            "--out",
+            ref_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Interrupted run (a prefix of the stream), then resume over the full
+    // stream into the same output log.
+    let text = std::fs::read_to_string(&ev).unwrap();
+    let cut: String = text.lines().take(40).map(|l| format!("{l}\n")).collect();
+    let part = dir.join("events.part.log");
+    std::fs::write(&part, cut).unwrap();
+    let state = dir.join("state");
+    let r_out = dir.join("resumed.out");
+    let out = bin()
+        .args([
+            "serve",
+            part.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--snapshot-every",
+            "16",
+            "--out",
+            r_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let out = bin()
+        .args([
+            "serve",
+            ev.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+            "--resume",
+            "--snapshot-every",
+            "16",
+            "--out",
+            r_out.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("recovered"));
+    assert_eq!(
+        std::fs::read_to_string(&r_out).unwrap(),
+        std::fs::read_to_string(&ref_out).unwrap(),
+        "resumed output must match the uninterrupted reference"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_resume_without_state_dir_exits_2() {
+    let out = bin()
+        .args(["serve", "-", "--resume"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--resume requires --state-dir"),
+        "stderr names the missing flag"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_fsync_and_zero_caps() {
+    let out = bin()
+        .args(["serve", "-", "--fsync", "sometimes"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--fsync"));
+
+    let out = bin()
+        .args(["serve", "-", "--max-jobs", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-jobs"));
+
+    let out = bin()
+        .args(["serve", "-", "--max-history", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--max-history"));
+}
+
+#[test]
+fn serve_rejects_unhosted_predictor() {
+    let out = bin()
+        .args(["serve", "-", "--predictor", "actual"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("serve hosts"),
+        "stderr lists the supported predictors"
+    );
+}
+
+#[test]
+fn serve_fresh_open_on_existing_wal_exits_2() {
+    let dir = std::env::temp_dir().join("qpredict_cli_serve_wal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let ev = dir.join("ev.log");
+    std::fs::write(&ev, "submit 1 100 nodes=4\nfinish 1 400\n").unwrap();
+    let state = dir.join("state");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "serve",
+            ev.to_str().unwrap(),
+            "--state-dir",
+            state.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        bin().args(&args).output().expect("binary runs")
+    };
+    assert!(run(&[]).status.success());
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resume"),
+        "stderr tells the operator to pass --resume"
+    );
+    assert!(run(&["--resume"]).status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
